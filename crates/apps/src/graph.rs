@@ -1,0 +1,358 @@
+//! Graph representation, synthetic graph generators and serial reference
+//! algorithms for the graph-analytics benchmarks (bfs, sssp, astar, color).
+//!
+//! The paper uses large public inputs (DIMACS road networks, a hugetric mesh,
+//! the com-youtube social graph). Those are unavailable here and far too
+//! large for laptop-scale simulation, so we generate synthetic graphs of the
+//! same *shape*: grid-with-shortcuts "road" graphs (planar, bounded degree,
+//! long diameter) and preferential-attachment "social" graphs (skewed degree
+//! distribution, short diameter). See DESIGN.md for the substitution record.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Distance value for unreached vertices.
+pub const UNREACHED: u64 = u64::MAX;
+
+/// A weighted directed graph in CSR form (all generators produce symmetric
+/// edge sets, so the graphs are effectively undirected).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<u32>,
+    /// Planar coordinates of each vertex (used by the A* heuristic; social
+    /// graphs get pseudo-coordinates).
+    pub coords: Vec<(i64, i64)>,
+}
+
+impl Graph {
+    /// Build a graph from an edge list. Duplicate edges are kept.
+    pub fn from_edges(num_vertices: usize, edges: &[(u32, u32, u32)], coords: Vec<(i64, i64)>) -> Self {
+        assert_eq!(coords.len(), num_vertices, "one coordinate per vertex");
+        let mut degree = vec![0usize; num_vertices];
+        for &(src, _, _) in edges {
+            degree[src as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        offsets.push(0usize);
+        for v in 0..num_vertices {
+            offsets.push(offsets[v] + degree[v]);
+        }
+        let mut targets = vec![0u32; edges.len()];
+        let mut weights = vec![0u32; edges.len()];
+        let mut cursor = offsets.clone();
+        for &(src, dst, w) in edges {
+            let slot = cursor[src as usize];
+            targets[slot] = dst;
+            weights[slot] = w;
+            cursor[src as usize] += 1;
+        }
+        Graph { offsets, targets, weights, coords }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbors of `v` with edge weights.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.offsets[v as usize];
+        let hi = self.offsets[v as usize + 1];
+        (lo..hi).map(move |i| (self.targets[i], self.weights[i]))
+    }
+
+    /// Maximum out-degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    // --------------------------------------------------------------
+    // Generators
+    // --------------------------------------------------------------
+
+    /// A road-network-like graph: a `width` × `height` grid with unit-ish
+    /// weights plus a sprinkling of random shortcut edges.
+    pub fn road_grid(width: usize, height: usize, seed: u64) -> Self {
+        let n = width * height;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let idx = |x: usize, y: usize| (y * width + x) as u32;
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        let push_undirected = |edges: &mut Vec<(u32, u32, u32)>, a: u32, b: u32, w: u32| {
+            edges.push((a, b, w));
+            edges.push((b, a, w));
+        };
+        for y in 0..height {
+            for x in 0..width {
+                let v = idx(x, y);
+                if x + 1 < width {
+                    push_undirected(&mut edges, v, idx(x + 1, y), 1 + rng.gen_range(0..4));
+                }
+                if y + 1 < height {
+                    push_undirected(&mut edges, v, idx(x, y + 1), 1 + rng.gen_range(0..4));
+                }
+            }
+        }
+        // Shortcut edges (highways): ~2% of vertices get a longer-range edge.
+        let shortcuts = (n / 50).max(1);
+        for _ in 0..shortcuts {
+            let a = rng.gen_range(0..n) as u32;
+            let b = rng.gen_range(0..n) as u32;
+            if a != b {
+                let (ax, ay) = (a as usize % width, a as usize / width);
+                let (bx, by) = (b as usize % width, b as usize / width);
+                let dist = (ax.abs_diff(bx) + ay.abs_diff(by)) as u32;
+                push_undirected(&mut edges, a, b, dist.max(1));
+            }
+        }
+        let coords =
+            (0..n).map(|v| ((v % width) as i64, (v / width) as i64)).collect::<Vec<_>>();
+        Graph::from_edges(n, &edges, coords)
+    }
+
+    /// A social-network-like graph built by preferential attachment, with the
+    /// maximum degree capped (so the fine-grain `color` forbidden-set fits in
+    /// a fixed number of words).
+    pub fn social(n: usize, edges_per_vertex: usize, max_degree: usize, seed: u64) -> Self {
+        assert!(n >= 2, "need at least two vertices");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        let mut degree = vec![0usize; n];
+        // Endpoint pool for preferential attachment.
+        let mut pool: Vec<u32> = vec![0, 1];
+        edges.push((0, 1, 1));
+        edges.push((1, 0, 1));
+        degree[0] += 1;
+        degree[1] += 1;
+        for v in 2..n as u32 {
+            let mut attached = 0;
+            let mut tries = 0;
+            while attached < edges_per_vertex && tries < edges_per_vertex * 10 {
+                tries += 1;
+                let target = if rng.gen_bool(0.8) {
+                    pool[rng.gen_range(0..pool.len())]
+                } else {
+                    rng.gen_range(0..v)
+                };
+                if target == v
+                    || degree[target as usize] >= max_degree
+                    || degree[v as usize] >= max_degree
+                {
+                    continue;
+                }
+                edges.push((v, target, 1));
+                edges.push((target, v, 1));
+                degree[v as usize] += 1;
+                degree[target as usize] += 1;
+                pool.push(target);
+                pool.push(v);
+                attached += 1;
+            }
+        }
+        let side = (n as f64).sqrt().ceil() as i64;
+        let coords = (0..n).map(|v| ((v as i64) % side, (v as i64) / side)).collect();
+        Graph::from_edges(n, &edges, coords)
+    }
+
+    // --------------------------------------------------------------
+    // Serial reference algorithms
+    // --------------------------------------------------------------
+
+    /// Breadth-first levels from `src` (level = number of hops).
+    pub fn bfs_levels(&self, src: u32) -> Vec<u64> {
+        let mut level = vec![UNREACHED; self.num_vertices()];
+        let mut queue = std::collections::VecDeque::new();
+        level[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            let next = level[v as usize] + 1;
+            for (n, _) in self.neighbors(v) {
+                if level[n as usize] == UNREACHED {
+                    level[n as usize] = next;
+                    queue.push_back(n);
+                }
+            }
+        }
+        level
+    }
+
+    /// Dijkstra shortest-path distances from `src`.
+    pub fn dijkstra(&self, src: u32) -> Vec<u64> {
+        let mut dist = vec![UNREACHED; self.num_vertices()];
+        let mut heap = BinaryHeap::new();
+        dist[src as usize] = 0;
+        heap.push(Reverse((0u64, src)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > dist[v as usize] {
+                continue;
+            }
+            for (n, w) in self.neighbors(v) {
+                let nd = d + w as u64;
+                if nd < dist[n as usize] {
+                    dist[n as usize] = nd;
+                    heap.push(Reverse((nd, n)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Admissible A* heuristic between two vertices: the straight-line
+    /// (Chebyshev) distance, which never exceeds the true path length because
+    /// every generated edge has weight >= 1 per unit of coordinate distance
+    /// ... conservatively, we use the Chebyshev distance which is a lower
+    /// bound on hop count.
+    pub fn heuristic(&self, v: u32, target: u32) -> u64 {
+        let (vx, vy) = self.coords[v as usize];
+        let (tx, ty) = self.coords[target as usize];
+        (vx.abs_diff(tx)).max(vy.abs_diff(ty))
+    }
+
+    /// Greedy largest-degree-first coloring (the serial reference for
+    /// `color`): vertices are processed in rank order (degree descending,
+    /// id ascending) and take the smallest color unused by already-colored
+    /// neighbors.
+    pub fn greedy_color(&self) -> Vec<u64> {
+        let order = self.color_rank_order();
+        let mut color = vec![UNREACHED; self.num_vertices()];
+        for &v in &order {
+            let mut used = vec![false; self.degree(v) + 1];
+            for (n, _) in self.neighbors(v) {
+                let c = color[n as usize];
+                if c != UNREACHED && (c as usize) < used.len() {
+                    used[c as usize] = true;
+                }
+            }
+            let c = used.iter().position(|&u| !u).unwrap_or(used.len());
+            color[v as usize] = c as u64;
+        }
+        color
+    }
+
+    /// Vertices ordered by coloring rank (degree descending, id ascending).
+    pub fn color_rank_order(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.num_vertices() as u32).collect();
+        order.sort_by_key(|&v| (Reverse(self.degree(v)), v));
+        order
+    }
+
+    /// The coloring rank of every vertex (inverse permutation of
+    /// [`Graph::color_rank_order`]).
+    pub fn color_ranks(&self) -> Vec<u64> {
+        let order = self.color_rank_order();
+        let mut rank = vec![0u64; self.num_vertices()];
+        for (r, &v) in order.iter().enumerate() {
+            rank[v as usize] = r as u64;
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn road_grid_has_expected_shape() {
+        let g = Graph::road_grid(8, 6, 1);
+        assert_eq!(g.num_vertices(), 48);
+        // Interior vertices have degree >= 4 (grid edges are symmetric).
+        assert!(g.degree(9) >= 4);
+        assert!(g.num_edges() >= 2 * (7 * 6 + 8 * 5));
+        assert_eq!(g.coords[9], (1, 1));
+    }
+
+    #[test]
+    fn social_graph_is_skewed_but_capped() {
+        let g = Graph::social(300, 3, 40, 7);
+        assert_eq!(g.num_vertices(), 300);
+        assert!(g.max_degree() <= 40);
+        // Preferential attachment should produce at least one hub much more
+        // connected than the median vertex.
+        let mut degrees: Vec<usize> = (0..300u32).map(|v| g.degree(v)).collect();
+        degrees.sort_unstable();
+        assert!(degrees[299] >= 3 * degrees[150].max(1));
+    }
+
+    #[test]
+    fn bfs_levels_on_grid_are_manhattan_distance() {
+        let g = Graph::road_grid(5, 5, 3);
+        let levels = g.bfs_levels(0);
+        assert_eq!(levels[0], 0);
+        // Without shortcuts the level of (x, y) is x + y; shortcuts can only
+        // reduce it.
+        for y in 0..5usize {
+            for x in 0..5usize {
+                assert!(levels[y * 5 + x] <= (x + y) as u64);
+                assert_ne!(levels[y * 5 + x], UNREACHED);
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_distances_are_triangle_consistent() {
+        let g = Graph::road_grid(10, 10, 5);
+        let dist = g.dijkstra(0);
+        for v in 0..g.num_vertices() as u32 {
+            for (n, w) in g.neighbors(v) {
+                assert!(
+                    dist[n as usize] <= dist[v as usize].saturating_add(w as u64),
+                    "triangle inequality violated on edge {v}->{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_is_admissible_on_grid() {
+        let g = Graph::road_grid(8, 8, 2);
+        let target = 63u32;
+        let dist_to_target = g.dijkstra(target);
+        for v in 0..64u32 {
+            assert!(
+                g.heuristic(v, target) <= dist_to_target[v as usize],
+                "heuristic overestimates at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper() {
+        let g = Graph::social(200, 3, 50, 11);
+        let colors = g.greedy_color();
+        for v in 0..g.num_vertices() as u32 {
+            for (n, _) in g.neighbors(v) {
+                assert_ne!(colors[v as usize], colors[n as usize], "edge {v}-{n} monochromatic");
+            }
+        }
+        // Greedy coloring uses at most max_degree + 1 colors.
+        let max_color = colors.iter().max().copied().unwrap();
+        assert!(max_color <= g.max_degree() as u64);
+    }
+
+    #[test]
+    fn color_ranks_are_a_permutation() {
+        let g = Graph::social(100, 2, 30, 13);
+        let ranks = g.color_ranks();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100u64).collect::<Vec<_>>());
+        // Highest-degree vertex has rank 0.
+        let hub = (0..100u32).max_by_key(|&v| (g.degree(v), Reverse(v))).unwrap();
+        assert_eq!(ranks[hub as usize], 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks of the mechanisms the paper adds to Swarm:
+//! hint hashing, same-hint serialization structures (Bloom signatures),
+//! the load-balancer tile map, and the cache/memory substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use spatial_hints::TileMap;
+use swarm_mem::{AccessKind, CacheModel, LruSet, SimMemory};
+use swarm_sim::BloomFilter;
+use swarm_types::{hash_to_bucket, CacheConfig, CoreId, Hint, LineAddr, TileId};
+
+fn bench_hint_hashing(c: &mut Criterion) {
+    c.bench_function("hint_to_tile_hash", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(Hint::value(i).to_tile(64))
+        })
+    });
+    c.bench_function("hint_to_bucket_hash", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(hash_to_bucket(i, 1024))
+        })
+    });
+}
+
+fn bench_bloom_filter(c: &mut Criterion) {
+    c.bench_function("bloom_insert_2kbit_8way", |b| {
+        let mut filter = BloomFilter::new(2048, 8);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            filter.insert(LineAddr(i % 4096));
+        })
+    });
+    c.bench_function("bloom_check_2kbit_8way", |b| {
+        let mut filter = BloomFilter::new(2048, 8);
+        for i in 0..64u64 {
+            filter.insert(LineAddr(i));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(filter.maybe_contains(LineAddr(i % 4096)))
+        })
+    });
+}
+
+fn bench_tile_map_rebalance(c: &mut Criterion) {
+    c.bench_function("tile_map_rebalance_1024_buckets", |b| {
+        let weights: Vec<u64> = (0..1024u64).map(|i| (i * 37) % 997).collect();
+        b.iter(|| {
+            let mut map = TileMap::new(1024, 64);
+            black_box(map.rebalance(&weights, 80))
+        })
+    });
+}
+
+fn bench_memory_substrate(c: &mut Criterion) {
+    c.bench_function("sim_memory_store_logged", |b| {
+        let mut mem = SimMemory::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(8);
+            black_box(mem.store_logged(i % 65536, i))
+        })
+    });
+    c.bench_function("cache_model_access_64tiles", |b| {
+        let mut caches = CacheModel::new(CacheConfig::default(), 64, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let core = CoreId((i % 256) as u32);
+            black_box(caches.access(core, LineAddr(i % 8192), AccessKind::Read))
+        })
+    });
+    c.bench_function("lru_set_insert", |b| {
+        let mut lru = LruSet::new(4096);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(lru.insert(i % 16384))
+        })
+    });
+    let _ = TileId(0);
+}
+
+criterion_group!(
+    name = mechanisms;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hint_hashing, bench_bloom_filter, bench_tile_map_rebalance, bench_memory_substrate
+);
+criterion_main!(mechanisms);

@@ -1,0 +1,29 @@
+//! Criterion benchmarks behind Table I: the single-core run of every
+//! benchmark at tiny scale (the table's "1-core run-time" column, scaled).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion};
+
+use spatial_hints::Scheduler;
+use swarm_apps::{AppSpec, BenchmarkId, InputScale};
+use swarm_bench::{run_app, RunRequest};
+
+fn bench_table1_single_core_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_single_core");
+    group.sample_size(10);
+    for bench in BenchmarkId::ALL {
+        group.bench_with_input(CriterionId::from_parameter(bench.name()), &bench, |b, &bench| {
+            b.iter(|| {
+                run_app(RunRequest::new(
+                    AppSpec::coarse(bench),
+                    Scheduler::Random,
+                    1,
+                    InputScale::Tiny,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(tables, bench_table1_single_core_runs);
+criterion_main!(tables);

@@ -1,0 +1,42 @@
+//! Section VI-A ablation: committed-cycles vs idle-task-count as the load
+//! balancer's signal, on the four load-imbalanced benchmarks. The paper
+//! finds the idle-count variant performs significantly worse because
+//! balancing queued tasks does not balance useful work.
+
+use spatial_hints::Scheduler;
+use swarm_apps::{AppSpec, BenchmarkId};
+use swarm_bench::{run_app, HarnessArgs, RunRequest};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let cores = args.max_cores();
+    let apps = [BenchmarkId::Des, BenchmarkId::Nocsim, BenchmarkId::Silo, BenchmarkId::Kmeans];
+    println!("Section VI-A ablation at {cores} cores: load-balancer signal comparison");
+    println!(
+        "{:<8}{:>12}{:>12}{:>12}{:>16}{:>16}",
+        "app", "Hints", "LBHints", "IdleLB", "LB vs Hints", "Idle vs Hints"
+    );
+    for bench in apps {
+        if !args.apps.contains(&bench) {
+            continue;
+        }
+        let spec = AppSpec::coarse(bench);
+        let run = |scheduler: Scheduler| {
+            run_app(RunRequest { spec, scheduler, cores, scale: args.scale, seed: args.seed })
+                .runtime_cycles as f64
+        };
+        let hints = run(Scheduler::Hints);
+        let lb = run(Scheduler::LbHints);
+        let idle = run(Scheduler::IdleLb);
+        println!(
+            "{:<8}{:>12.0}{:>12.0}{:>12.0}{:>15.1}%{:>15.1}%",
+            bench.name(),
+            hints,
+            lb,
+            idle,
+            (hints / lb - 1.0) * 100.0,
+            (hints / idle - 1.0) * 100.0
+        );
+    }
+    println!("(positive percentages mean the load balancer improved over plain Hints)");
+}

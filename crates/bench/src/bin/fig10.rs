@@ -1,0 +1,32 @@
+//! Fig. 10: speedup of Random, Stealing, Hints and LBHints from 1 to N
+//! cores on all nine applications. For the four benchmarks with fine-grain
+//! versions, the hint-based schedulers use the fine-grain variant (the paper
+//! reports the best-performing version per scheme).
+
+use spatial_hints::Scheduler;
+use swarm_apps::{AppSpec, BenchmarkId};
+use swarm_bench::{format_speedup_table, speedup_curve, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    for bench in args.apps {
+        println!("Fig. 10 [{}]: speedup vs cores", bench.name());
+        let series: Vec<(String, _)> = args
+            .schedulers
+            .iter()
+            .map(|&s| {
+                let hint_based = matches!(s, Scheduler::Hints | Scheduler::LbHints);
+                let spec = if hint_based && BenchmarkId::WITH_FINE_GRAIN.contains(&bench) {
+                    AppSpec::fine(bench)
+                } else {
+                    AppSpec::coarse(bench)
+                };
+                (
+                    format!("{}{}", s.name(), if spec.fine_grain { "(FG)" } else { "" }),
+                    speedup_curve(spec, s, &args.cores, args.scale, args.seed),
+                )
+            })
+            .collect();
+        println!("{}", format_speedup_table(&series));
+    }
+}

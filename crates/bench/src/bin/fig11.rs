@@ -1,0 +1,35 @@
+//! Fig. 11: core-cycle breakdown of des, nocsim, silo and kmeans at the
+//! largest core count under Random, Stealing, Hints and LBHints (normalized
+//! to Random) — the benchmarks where the data-centric load balancer matters.
+
+use swarm_apps::{AppSpec, BenchmarkId};
+use swarm_bench::{format_breakdown_table, run_app, HarnessArgs, RunRequest};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let cores = args.max_cores();
+    let fig11_apps =
+        [BenchmarkId::Des, BenchmarkId::Nocsim, BenchmarkId::Silo, BenchmarkId::Kmeans];
+    for bench in fig11_apps {
+        if !args.apps.contains(&bench) {
+            continue;
+        }
+        let spec = AppSpec::coarse(bench);
+        let entries: Vec<(String, _)> = args
+            .schedulers
+            .iter()
+            .map(|&s| {
+                let stats = run_app(RunRequest {
+                    spec,
+                    scheduler: s,
+                    cores,
+                    scale: args.scale,
+                    seed: args.seed,
+                });
+                (s.name().to_string(), stats)
+            })
+            .collect();
+        println!("Fig. 11 [{}]: core-cycle breakdown at {cores} cores (normalized to Random)", bench.name());
+        println!("{}", format_breakdown_table(&entries));
+    }
+}

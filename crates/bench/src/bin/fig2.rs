@@ -1,0 +1,40 @@
+//! Fig. 2: motivation — des under Random, Stealing, Hints and LBHints:
+//! (a) speedup from 1 to N cores and (b) cycle breakdown at the largest
+//! core count, normalized to Random.
+
+use swarm_apps::{AppSpec, BenchmarkId};
+use swarm_bench::{
+    format_breakdown_table, format_speedup_table, run_app, speedup_curve, HarnessArgs, RunRequest,
+};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let spec = AppSpec::coarse(BenchmarkId::Des);
+
+    println!("Fig. 2a: des speedup vs cores (relative to 1-core Swarm)");
+    let series: Vec<(String, _)> = args
+        .schedulers
+        .iter()
+        .map(|&s| {
+            (s.name().to_string(), speedup_curve(spec, s, &args.cores, args.scale, args.seed))
+        })
+        .collect();
+    println!("{}", format_speedup_table(&series));
+
+    println!("Fig. 2b: des cycle breakdown at {} cores (normalized to Random)", args.max_cores());
+    let entries: Vec<(String, _)> = args
+        .schedulers
+        .iter()
+        .map(|&s| {
+            let stats = run_app(RunRequest {
+                spec,
+                scheduler: s,
+                cores: args.max_cores(),
+                scale: args.scale,
+                seed: args.seed,
+            });
+            (s.name().to_string(), stats)
+        })
+        .collect();
+    println!("{}", format_breakdown_table(&entries));
+}

@@ -1,0 +1,26 @@
+//! Fig. 3: architecture-independent classification of memory accesses made
+//! by committing tasks, per application: arguments, single-/multi-hint ×
+//! read-only/read-write.
+
+use spatial_hints::{classify_accesses, ClassifierConfig, Scheduler};
+use swarm_apps::AppSpec;
+use swarm_bench::{classification_header, format_classification_row, run_app_profiled, HarnessArgs, RunRequest};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Fig. 3: classification of memory accesses (fractions of each app's total)");
+    print!("{}", classification_header());
+    for bench in args.apps {
+        let spec = AppSpec::coarse(bench);
+        let stats = run_app_profiled(RunRequest {
+            spec,
+            scheduler: Scheduler::Hints,
+            cores: 4,
+            scale: args.scale,
+            seed: args.seed,
+        });
+        let classification =
+            classify_accesses(&stats.committed_accesses, ClassifierConfig::default());
+        print!("{}", format_classification_row(bench.name(), &classification, classification.total()));
+    }
+}

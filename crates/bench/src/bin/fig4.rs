@@ -1,0 +1,26 @@
+//! Fig. 4: speedup of the Random, Stealing and Hints schedulers from 1 to N
+//! cores, for each of the nine applications.
+
+use spatial_hints::Scheduler;
+use swarm_apps::AppSpec;
+use swarm_bench::{format_speedup_table, speedup_curve, HarnessArgs};
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    // Fig. 4 compares Random, Stealing and Hints (LBHints appears in Fig. 10).
+    if args.schedulers == Scheduler::ALL.to_vec() {
+        args.schedulers = vec![Scheduler::Random, Scheduler::Stealing, Scheduler::Hints];
+    }
+    for bench in args.apps {
+        let spec = AppSpec::coarse(bench);
+        println!("Fig. 4 [{}]: speedup vs cores", bench.name());
+        let series: Vec<(String, _)> = args
+            .schedulers
+            .iter()
+            .map(|&s| {
+                (s.name().to_string(), speedup_curve(spec, s, &args.cores, args.scale, args.seed))
+            })
+            .collect();
+        println!("{}", format_speedup_table(&series));
+    }
+}

@@ -1,0 +1,36 @@
+//! Fig. 5: (a) core-cycle breakdown and (b) NoC-traffic breakdown for every
+//! application at the largest core count, under Random, Stealing and Hints,
+//! normalized to Random.
+
+use spatial_hints::Scheduler;
+use swarm_apps::AppSpec;
+use swarm_bench::{format_breakdown_table, format_traffic_table, run_app, HarnessArgs, RunRequest};
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    if args.schedulers == Scheduler::ALL.to_vec() {
+        args.schedulers = vec![Scheduler::Random, Scheduler::Stealing, Scheduler::Hints];
+    }
+    let cores = args.max_cores();
+    for bench in args.apps {
+        let spec = AppSpec::coarse(bench);
+        let entries: Vec<(String, _)> = args
+            .schedulers
+            .iter()
+            .map(|&s| {
+                let stats = run_app(RunRequest {
+                    spec,
+                    scheduler: s,
+                    cores,
+                    scale: args.scale,
+                    seed: args.seed,
+                });
+                (s.name().to_string(), stats)
+            })
+            .collect();
+        println!("Fig. 5a [{}]: core-cycle breakdown at {cores} cores (normalized to Random)", bench.name());
+        println!("{}", format_breakdown_table(&entries));
+        println!("Fig. 5b [{}]: NoC data breakdown at {cores} cores (normalized to Random)", bench.name());
+        println!("{}", format_traffic_table(&entries));
+    }
+}

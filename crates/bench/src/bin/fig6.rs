@@ -1,0 +1,37 @@
+//! Fig. 6: access classification of coarse-grain (CG) vs fine-grain (FG)
+//! versions of bfs, sssp, astar and color. FG bars are normalized to the CG
+//! total of the same application, so values above 1.0 show the extra
+//! accesses (work) fine-grain tasks perform.
+
+use spatial_hints::{classify_accesses, ClassifierConfig, Scheduler};
+use swarm_apps::{AppSpec, BenchmarkId};
+use swarm_bench::{classification_header, format_classification_row, run_app_profiled, HarnessArgs, RunRequest};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Fig. 6: access classification, coarse-grain vs fine-grain (normalized to CG total)");
+    print!("{}", classification_header());
+    for bench in BenchmarkId::WITH_FINE_GRAIN {
+        if !args.apps.contains(&bench) {
+            continue;
+        }
+        let mut cg_total = 0;
+        for (label, spec) in
+            [(format!("{}-cg", bench.name()), AppSpec::coarse(bench)), (format!("{}-fg", bench.name()), AppSpec::fine(bench))]
+        {
+            let stats = run_app_profiled(RunRequest {
+                spec,
+                scheduler: Scheduler::Hints,
+                cores: 4,
+                scale: args.scale,
+                seed: args.seed,
+            });
+            let classification =
+                classify_accesses(&stats.committed_accesses, ClassifierConfig::default());
+            if cg_total == 0 {
+                cg_total = classification.total();
+            }
+            print!("{}", format_classification_row(&label, &classification, cg_total));
+        }
+    }
+}

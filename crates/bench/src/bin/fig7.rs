@@ -1,0 +1,49 @@
+//! Fig. 7: speedup of fine-grain (FG) vs coarse-grain (CG) versions of bfs,
+//! sssp, astar and color under Random, Stealing and Hints. All speedups are
+//! relative to the CG version on one core.
+
+use spatial_hints::Scheduler;
+use swarm_apps::{AppSpec, BenchmarkId};
+use swarm_bench::{format_speedup_table, run_app, HarnessArgs, RunRequest};
+use swarm_bench::runner::ExperimentPoint;
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    if args.schedulers == Scheduler::ALL.to_vec() {
+        args.schedulers = vec![Scheduler::Random, Scheduler::Stealing, Scheduler::Hints];
+    }
+    for bench in BenchmarkId::WITH_FINE_GRAIN {
+        if !args.apps.contains(&bench) {
+            continue;
+        }
+        println!("Fig. 7 [{}]: CG and FG speedup vs cores (relative to CG at 1 core)", bench.name());
+        // The common baseline: coarse-grain on one core under Hints.
+        let baseline = run_app(RunRequest {
+            spec: AppSpec::coarse(bench),
+            scheduler: Scheduler::Hints,
+            cores: 1,
+            scale: args.scale,
+            seed: args.seed,
+        });
+        let mut series = Vec::new();
+        for (label, spec) in
+            [("CG", AppSpec::coarse(bench)), ("FG", AppSpec::fine(bench))]
+        {
+            for &scheduler in &args.schedulers {
+                let points: Vec<ExperimentPoint> = args
+                    .cores
+                    .iter()
+                    .map(|&cores| {
+                        let request =
+                            RunRequest { spec, scheduler, cores, scale: args.scale, seed: args.seed };
+                        let stats = run_app(request);
+                        let speedup = stats.speedup_over(&baseline);
+                        ExperimentPoint { request, stats, speedup }
+                    })
+                    .collect();
+                series.push((format!("{label}-{}", scheduler.short_label()), points));
+            }
+        }
+        println!("{}", format_speedup_table(&series));
+    }
+}

@@ -1,0 +1,44 @@
+//! Fig. 8: core-cycle and NoC-traffic breakdowns of the fine-grain versions
+//! of bfs, sssp, astar and color at the largest core count, under Random,
+//! Stealing and Hints, normalized to the coarse-grain version under Random.
+
+use spatial_hints::Scheduler;
+use swarm_apps::{AppSpec, BenchmarkId};
+use swarm_bench::{format_breakdown_table, format_traffic_table, run_app, HarnessArgs, RunRequest};
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    if args.schedulers == Scheduler::ALL.to_vec() {
+        args.schedulers = vec![Scheduler::Random, Scheduler::Stealing, Scheduler::Hints];
+    }
+    let cores = args.max_cores();
+    for bench in BenchmarkId::WITH_FINE_GRAIN {
+        if !args.apps.contains(&bench) {
+            continue;
+        }
+        // The normalization baseline is the coarse-grain version under
+        // Random (as in the paper).
+        let baseline = run_app(RunRequest {
+            spec: AppSpec::coarse(bench),
+            scheduler: Scheduler::Random,
+            cores,
+            scale: args.scale,
+            seed: args.seed,
+        });
+        let mut entries = vec![("CG-Random".to_string(), baseline)];
+        for &scheduler in &args.schedulers {
+            let stats = run_app(RunRequest {
+                spec: AppSpec::fine(bench),
+                scheduler,
+                cores,
+                scale: args.scale,
+                seed: args.seed,
+            });
+            entries.push((format!("FG-{}", scheduler.name()), stats));
+        }
+        println!("Fig. 8a [{}]: FG core-cycle breakdown at {cores} cores (normalized to CG-Random)", bench.name());
+        println!("{}", format_breakdown_table(&entries));
+        println!("Fig. 8b [{}]: FG NoC data breakdown at {cores} cores (normalized to CG-Random)", bench.name());
+        println!("{}", format_traffic_table(&entries));
+    }
+}

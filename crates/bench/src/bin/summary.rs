@@ -1,0 +1,98 @@
+//! Section VI-B "putting it all together": geometric-mean speedups of
+//! Random, Hints, Hints with fine-grain versions, and LBHints at the largest
+//! core count, plus efficiency metrics (aborted-cycle and traffic
+//! reductions). Optionally dumps machine-readable JSON with `--json`.
+
+use serde::Serialize;
+use spatial_hints::Scheduler;
+use swarm_apps::{AppSpec, BenchmarkId};
+use swarm_bench::{gmean, run_app, HarnessArgs, RunRequest};
+
+#[derive(Serialize)]
+struct AppSummary {
+    app: String,
+    cores: u32,
+    random_speedup: f64,
+    stealing_speedup: f64,
+    hints_speedup: f64,
+    hints_fg_speedup: f64,
+    lbhints_speedup: f64,
+    abort_cycle_reduction_hints_vs_random: f64,
+    traffic_reduction_hints_vs_random: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let json = std::env::args().any(|a| a == "--json");
+    let cores = args.max_cores();
+    let mut summaries = Vec::new();
+
+    for bench in args.apps.clone() {
+        let run = |spec: AppSpec, scheduler: Scheduler, c: u32| {
+            run_app(RunRequest { spec, scheduler, cores: c, scale: args.scale, seed: args.seed })
+        };
+        let cg = AppSpec::coarse(bench);
+        let best_fg = if BenchmarkId::WITH_FINE_GRAIN.contains(&bench) {
+            AppSpec::fine(bench)
+        } else {
+            cg
+        };
+        let baseline = run(cg, Scheduler::Random, 1);
+        let random = run(cg, Scheduler::Random, cores);
+        let stealing = run(cg, Scheduler::Stealing, cores);
+        let hints = run(cg, Scheduler::Hints, cores);
+        let hints_fg = run(best_fg, Scheduler::Hints, cores);
+        let lbhints = run(best_fg, Scheduler::LbHints, cores);
+        summaries.push(AppSummary {
+            app: bench.name().to_string(),
+            cores,
+            random_speedup: random.speedup_over(&baseline),
+            stealing_speedup: stealing.speedup_over(&baseline),
+            hints_speedup: hints.speedup_over(&baseline),
+            hints_fg_speedup: hints_fg.speedup_over(&baseline),
+            lbhints_speedup: lbhints.speedup_over(&baseline),
+            abort_cycle_reduction_hints_vs_random: random.breakdown.aborted.max(1) as f64
+                / hints.breakdown.aborted.max(1) as f64,
+            traffic_reduction_hints_vs_random: random.traffic.total().max(1) as f64
+                / hints.traffic.total().max(1) as f64,
+        });
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&summaries).expect("serializable"));
+        return;
+    }
+
+    println!("Section VI-B summary at {cores} cores (speedups over 1-core Random)");
+    println!(
+        "{:<8}{:>10}{:>10}{:>10}{:>12}{:>10}{:>14}{:>14}",
+        "app", "Random", "Stealing", "Hints", "Hints(FG)", "LBHints", "abort red.", "traffic red."
+    );
+    for s in &summaries {
+        println!(
+            "{:<8}{:>10.2}{:>10.2}{:>10.2}{:>12.2}{:>10.2}{:>13.1}x{:>13.1}x",
+            s.app,
+            s.random_speedup,
+            s.stealing_speedup,
+            s.hints_speedup,
+            s.hints_fg_speedup,
+            s.lbhints_speedup,
+            s.abort_cycle_reduction_hints_vs_random,
+            s.traffic_reduction_hints_vs_random
+        );
+    }
+    let col = |f: fn(&AppSummary) -> f64| -> f64 {
+        gmean(&summaries.iter().map(f).collect::<Vec<_>>())
+    };
+    println!(
+        "{:<8}{:>10.2}{:>10.2}{:>10.2}{:>12.2}{:>10.2}{:>13.1}x{:>13.1}x",
+        "gmean",
+        col(|s| s.random_speedup),
+        col(|s| s.stealing_speedup),
+        col(|s| s.hints_speedup),
+        col(|s| s.hints_fg_speedup),
+        col(|s| s.lbhints_speedup),
+        col(|s| s.abort_cycle_reduction_hints_vs_random),
+        col(|s| s.traffic_reduction_hints_vs_random)
+    );
+}

@@ -1,0 +1,142 @@
+//! Minimal command-line parsing shared by the harness binaries.
+//!
+//! Every figure binary accepts:
+//!
+//! * `--cores 1,4,16,64` — the core counts to sweep (default `1,4,16,64`);
+//! * `--scale tiny|small|medium` — workload size (default `small`);
+//! * `--seed N` — workload seed (default fixed);
+//! * `--apps a,b,c` — restrict to a subset of benchmarks where applicable.
+
+use spatial_hints::Scheduler;
+use swarm_apps::{BenchmarkId, InputScale};
+
+/// Parsed harness options.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Core counts to sweep.
+    pub cores: Vec<u32>,
+    /// Workload scale.
+    pub scale: InputScale,
+    /// Workload seed.
+    pub seed: u64,
+    /// Benchmarks to run (defaults to all nine).
+    pub apps: Vec<BenchmarkId>,
+    /// Schedulers to compare (defaults to Random/Stealing/Hints/LBHints).
+    pub schedulers: Vec<Scheduler>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            cores: vec![1, 4, 16, 64],
+            scale: InputScale::Small,
+            seed: 0xF1605,
+            apps: BenchmarkId::ALL.to_vec(),
+            schedulers: Scheduler::ALL.to_vec(),
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parse `std::env::args()`. Unknown flags are ignored so binaries can
+    /// add their own.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1).collect())
+    }
+
+    /// Parse from an explicit argument vector (for tests).
+    pub fn parse_from(args: Vec<String>) -> Self {
+        let mut parsed = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--cores" => {
+                    if let Some(v) = it.next() {
+                        let cores: Vec<u32> =
+                            v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                        if !cores.is_empty() {
+                            parsed.cores = cores;
+                        }
+                    }
+                }
+                "--scale" => {
+                    if let Some(v) = it.next() {
+                        parsed.scale = match v.to_ascii_lowercase().as_str() {
+                            "tiny" => InputScale::Tiny,
+                            "medium" => InputScale::Medium,
+                            _ => InputScale::Small,
+                        };
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = it.next() {
+                        if let Ok(seed) = v.parse() {
+                            parsed.seed = seed;
+                        }
+                    }
+                }
+                "--apps" => {
+                    if let Some(v) = it.next() {
+                        let apps: Vec<BenchmarkId> =
+                            v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                        if !apps.is_empty() {
+                            parsed.apps = apps;
+                        }
+                    }
+                }
+                "--schedulers" => {
+                    if let Some(v) = it.next() {
+                        let schedulers: Vec<Scheduler> =
+                            v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                        if !schedulers.is_empty() {
+                            parsed.schedulers = schedulers;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        parsed
+    }
+
+    /// The largest core count in the sweep (used by the breakdown figures,
+    /// which the paper reports at the maximum machine size).
+    pub fn max_cores(&self) -> u32 {
+        self.cores.iter().copied().max().unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_cover_all_apps_and_schedulers() {
+        let args = HarnessArgs::default();
+        assert_eq!(args.apps.len(), 9);
+        assert_eq!(args.schedulers.len(), 4);
+        assert_eq!(args.max_cores(), 64);
+    }
+
+    #[test]
+    fn parses_cores_scale_and_apps() {
+        let args = HarnessArgs::parse_from(s(&[
+            "--cores", "1,2,8", "--scale", "tiny", "--apps", "des,kmeans", "--seed", "9",
+        ]));
+        assert_eq!(args.cores, vec![1, 2, 8]);
+        assert_eq!(args.scale, InputScale::Tiny);
+        assert_eq!(args.apps, vec![BenchmarkId::Des, BenchmarkId::Kmeans]);
+        assert_eq!(args.seed, 9);
+    }
+
+    #[test]
+    fn ignores_unknown_flags_and_bad_values() {
+        let args = HarnessArgs::parse_from(s(&["--wat", "--cores", "x", "--schedulers", "hints"]));
+        assert_eq!(args.cores, vec![1, 4, 16, 64]);
+        assert_eq!(args.schedulers, vec![Scheduler::Hints]);
+    }
+}

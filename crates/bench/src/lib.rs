@@ -1,0 +1,17 @@
+//! Experiment harness: runs the nine benchmarks under the four schedulers
+//! at several core counts and prints the tables and series behind every
+//! figure of the paper's evaluation.
+//!
+//! The harness binaries (one per table/figure, see DESIGN.md's
+//! per-experiment index) are thin wrappers over [`runner`] and [`report`].
+
+pub mod cli;
+pub mod report;
+pub mod runner;
+
+pub use cli::HarnessArgs;
+pub use report::{
+    classification_header, format_breakdown_table, format_classification_row,
+    format_speedup_table, format_traffic_table, gmean,
+};
+pub use runner::{run_app, run_app_profiled, speedup_curve, ExperimentPoint, RunRequest};

@@ -1,0 +1,159 @@
+//! Plain-text table formatting for the harness binaries, matching the
+//! quantities the paper's figures plot.
+
+use spatial_hints::{AccessClass, AccessClassification};
+use swarm_noc::TrafficClass;
+use swarm_sim::RunStats;
+
+use crate::runner::ExperimentPoint;
+
+/// Geometric mean of a slice of positive values (0 if empty).
+pub fn gmean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Format a speedup-vs-cores table: one row per core count, one column per
+/// labelled series (the layout of Fig. 2a / Fig. 4 / Fig. 7 / Fig. 10).
+pub fn format_speedup_table(series: &[(String, Vec<ExperimentPoint>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>8}", "cores"));
+    for (label, _) in series {
+        out.push_str(&format!("{label:>14}"));
+    }
+    out.push('\n');
+    if let Some((_, first)) = series.first() {
+        for (i, point) in first.iter().enumerate() {
+            out.push_str(&format!("{:>8}", point.request.cores));
+            for (_, points) in series {
+                let speedup = points.get(i).map(|p| p.speedup).unwrap_or(f64::NAN);
+                out.push_str(&format!("{speedup:>14.2}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Format a cycle-breakdown table normalized to the first entry's total
+/// (the layout of Fig. 2b / Fig. 5a / Fig. 8a / Fig. 11).
+pub fn format_breakdown_table(entries: &[(String, RunStats)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>12}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}\n",
+        "scheduler", "total", "commit", "abort", "spill", "stall", "empty"
+    ));
+    let baseline_total = entries.first().map(|(_, s)| s.breakdown.total().max(1)).unwrap_or(1);
+    for (label, stats) in entries {
+        let b = stats.breakdown;
+        let norm = |v: u64| v as f64 / baseline_total as f64;
+        out.push_str(&format!(
+            "{:>12}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>10.3}\n",
+            label,
+            norm(b.total()),
+            norm(b.committed),
+            norm(b.aborted),
+            norm(b.spill),
+            norm(b.stall),
+            norm(b.empty)
+        ));
+    }
+    out
+}
+
+/// Format a NoC-traffic breakdown table normalized to the first entry's
+/// total (the layout of Fig. 5b / Fig. 8b).
+pub fn format_traffic_table(entries: &[(String, RunStats)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>12}{:>10}{:>10}{:>10}{:>10}{:>10}\n",
+        "scheduler", "total", "mem", "abort", "task", "gvt"
+    ));
+    let baseline_total = entries.first().map(|(_, s)| s.traffic.total().max(1)).unwrap_or(1);
+    for (label, stats) in entries {
+        let t = stats.traffic;
+        let norm = |v: u64| v as f64 / baseline_total as f64;
+        out.push_str(&format!(
+            "{:>12}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>10.3}\n",
+            label,
+            norm(t.total()),
+            norm(t.of(TrafficClass::Memory)),
+            norm(t.of(TrafficClass::Abort)),
+            norm(t.of(TrafficClass::Task)),
+            norm(t.of(TrafficClass::Gvt))
+        ));
+    }
+    out
+}
+
+/// Format an access-classification table (Fig. 3 / Fig. 6): fractions per
+/// category, optionally normalized to a baseline total access count.
+pub fn format_classification_row(
+    label: &str,
+    c: &AccessClassification,
+    baseline_total: u64,
+) -> String {
+    let denom = baseline_total.max(1) as f64;
+    let mut row = format!("{label:>12}");
+    for class in AccessClass::ALL {
+        row.push_str(&format!("{:>12.3}", c.of(class) as f64 / denom));
+    }
+    row.push_str(&format!("{:>12.3}", c.total() as f64 / denom));
+    row.push('\n');
+    row
+}
+
+/// Header row matching [`format_classification_row`].
+pub fn classification_header() -> String {
+    let mut row = format!("{:>12}", "app");
+    for class in AccessClass::ALL {
+        row.push_str(&format!("{:>12}", class.label()));
+    }
+    row.push_str(&format!("{:>12}\n", "total"));
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_app, RunRequest};
+    use spatial_hints::Scheduler;
+    use swarm_apps::{AppSpec, BenchmarkId, InputScale};
+
+    #[test]
+    fn gmean_of_identical_values_is_the_value() {
+        assert!((gmean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(gmean(&[]), 0.0);
+        // gmean(1, 100) = 10
+        assert!((gmean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_and_traffic_tables_render() {
+        let stats = run_app(RunRequest::new(
+            AppSpec::coarse(BenchmarkId::Nocsim),
+            Scheduler::Random,
+            4,
+            InputScale::Tiny,
+        ));
+        let b = format_breakdown_table(&[("Random".to_string(), stats.clone())]);
+        assert!(b.contains("Random"));
+        assert!(b.contains("commit"));
+        let t = format_traffic_table(&[("Random".to_string(), stats)]);
+        assert!(t.contains("gvt"));
+    }
+
+    #[test]
+    fn classification_table_has_all_columns() {
+        let header = classification_header();
+        for class in AccessClass::ALL {
+            assert!(header.contains(class.label()));
+        }
+        let row =
+            format_classification_row("x", &AccessClassification::default(), 10);
+        assert!(row.starts_with(&format!("{:>12}", "x")));
+    }
+}

@@ -1,0 +1,142 @@
+//! Running one (benchmark, scheduler, core count) point and sweeps thereof.
+
+use spatial_hints::Scheduler;
+use swarm_apps::{AppSpec, InputScale};
+use swarm_sim::{Engine, RunStats};
+use swarm_types::SystemConfig;
+
+/// Everything needed to run one simulation point.
+#[derive(Debug, Clone, Copy)]
+pub struct RunRequest {
+    /// Which application (and granularity).
+    pub spec: AppSpec,
+    /// Which scheduler.
+    pub scheduler: Scheduler,
+    /// Number of simulated cores.
+    pub cores: u32,
+    /// Input scale.
+    pub scale: InputScale,
+    /// Workload seed (the same seed produces the same input for every
+    /// scheduler and core count, as the paper's methodology requires).
+    pub seed: u64,
+}
+
+impl RunRequest {
+    /// A convenience constructor with the default seed.
+    pub fn new(spec: AppSpec, scheduler: Scheduler, cores: u32, scale: InputScale) -> Self {
+        RunRequest { spec, scheduler, cores, scale, seed: 0xF1605 }
+    }
+}
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone)]
+pub struct ExperimentPoint {
+    /// The request that produced this point.
+    pub request: RunRequest,
+    /// The measured statistics.
+    pub stats: RunStats,
+    /// Speedup relative to the 1-core baseline of the same app/scale/seed.
+    pub speedup: f64,
+}
+
+/// Run one point.
+///
+/// # Panics
+///
+/// Panics if the simulation fails validation against the serial reference —
+/// an experiment must never silently report numbers from a wrong execution.
+pub fn run_app(request: RunRequest) -> RunStats {
+    run_inner(request, false)
+}
+
+/// Run one point with access profiling enabled (needed for Fig. 3 / Fig. 6).
+///
+/// # Panics
+///
+/// Panics if the simulation fails validation against the serial reference.
+pub fn run_app_profiled(request: RunRequest) -> RunStats {
+    run_inner(request, true)
+}
+
+fn run_inner(request: RunRequest, profiled: bool) -> RunStats {
+    let cfg = SystemConfig::with_cores(request.cores);
+    let app = request.spec.build(request.scale, request.seed);
+    let mapper = request.scheduler.build(&cfg);
+    let mut engine = Engine::new(cfg, app, mapper);
+    if profiled {
+        engine.enable_profiling();
+    }
+    engine.run().unwrap_or_else(|e| {
+        panic!(
+            "{} under {} at {} cores failed: {e}",
+            request.spec.name(),
+            request.scheduler,
+            request.cores
+        )
+    })
+}
+
+/// Sweep core counts for one app/scheduler and return speedups relative to
+/// the 1-core run of the same configuration.
+pub fn speedup_curve(
+    spec: AppSpec,
+    scheduler: Scheduler,
+    core_counts: &[u32],
+    scale: InputScale,
+    seed: u64,
+) -> Vec<ExperimentPoint> {
+    let baseline = run_app(RunRequest { spec, scheduler, cores: 1, scale, seed });
+    core_counts
+        .iter()
+        .map(|&cores| {
+            let request = RunRequest { spec, scheduler, cores, scale, seed };
+            let stats =
+                if cores == 1 { baseline.clone() } else { run_app(request) };
+            let speedup = stats.speedup_over(&baseline);
+            ExperimentPoint { request, stats, speedup }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_apps::BenchmarkId;
+
+    #[test]
+    fn run_app_produces_stats() {
+        let stats = run_app(RunRequest::new(
+            AppSpec::coarse(BenchmarkId::Sssp),
+            Scheduler::Hints,
+            4,
+            InputScale::Tiny,
+        ));
+        assert!(stats.tasks_committed > 0);
+        assert!(stats.runtime_cycles > 0);
+    }
+
+    #[test]
+    fn profiled_run_collects_accesses() {
+        let stats = run_app_profiled(RunRequest::new(
+            AppSpec::coarse(BenchmarkId::Kmeans),
+            Scheduler::Hints,
+            4,
+            InputScale::Tiny,
+        ));
+        assert!(!stats.committed_accesses.is_empty());
+    }
+
+    #[test]
+    fn speedup_curve_is_relative_to_one_core() {
+        let points = speedup_curve(
+            AppSpec::coarse(BenchmarkId::Des),
+            Scheduler::Hints,
+            &[1, 4],
+            InputScale::Tiny,
+            7,
+        );
+        assert_eq!(points.len(), 2);
+        assert!((points[0].speedup - 1.0).abs() < 1e-9);
+        assert!(points[1].speedup > 0.0);
+    }
+}

@@ -1,0 +1,384 @@
+//! Line-granular model of the tiled cache hierarchy.
+//!
+//! The modelled machine (Table II of the paper) has per-core L1s, a per-tile
+//! shared L2, and a fully-shared static-NUCA L3 with one slice (bank) per
+//! tile. Directory state is tracked per line at tile granularity: which tiles
+//! hold a copy, and which tile is the (dirty) owner.
+//!
+//! The model answers one question per access: *where was the line found, and
+//! which tiles had to be invalidated?* The simulator combines the answer with
+//! the mesh model to charge cycles and network flits, so this crate stays
+//! independent of the network topology.
+
+use std::collections::HashMap;
+
+use swarm_types::{CacheConfig, CoreId, LineAddr, TileId};
+
+use crate::lru::LruSet;
+
+/// Whether an access reads or writes the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store (requires exclusive ownership; invalidates other copies).
+    Write,
+}
+
+/// Where an access was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Served by the requesting core's L1.
+    L1,
+    /// Served by the requesting tile's L2.
+    L2,
+    /// Forwarded from another tile's L2 (cache-to-cache transfer through the
+    /// home directory).
+    RemoteL2 {
+        /// Tile whose L2 supplied the data.
+        owner: TileId,
+    },
+    /// Served by the L3 slice at the line's home tile.
+    L3 {
+        /// Static-NUCA home tile of the line.
+        home: TileId,
+    },
+    /// Served by main memory (through the home tile's memory controller path).
+    Memory {
+        /// Static-NUCA home tile of the line.
+        home: TileId,
+    },
+}
+
+/// Result of one access against the cache model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Where the data came from.
+    pub level: HitLevel,
+    /// Cache-array latency in cycles (network latency not included).
+    pub base_latency: u64,
+    /// Tiles whose copies had to be invalidated (writes only).
+    pub invalidated: Vec<TileId>,
+    /// Whether the access left the requesting tile (used for traffic).
+    pub remote: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct LineDir {
+    /// Tiles holding a copy (bit per tile; the model supports <= 64 tiles,
+    /// larger meshes fall back to coarse tracking of the low 64 tiles).
+    sharers: u64,
+    /// Tile holding the line in modified state, if any.
+    owner: Option<TileId>,
+    /// Whether the line is present in the L3.
+    in_l3: bool,
+}
+
+/// The cache hierarchy model.
+///
+/// # Example
+///
+/// ```
+/// use swarm_mem::{AccessKind, CacheModel, HitLevel};
+/// use swarm_types::{CacheConfig, CoreId, LineAddr};
+///
+/// let mut caches = CacheModel::new(CacheConfig::default(), 4, 4);
+/// let line = LineAddr(10);
+/// let first = caches.access(CoreId(0), line, AccessKind::Read);
+/// assert!(matches!(first.level, HitLevel::Memory { .. }));
+/// let second = caches.access(CoreId(0), line, AccessKind::Read);
+/// assert_eq!(second.level, HitLevel::L1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    cfg: CacheConfig,
+    cores_per_tile: u32,
+    num_tiles: usize,
+    l1: Vec<LruSet>,
+    l2: Vec<LruSet>,
+    l3: Vec<LruSet>,
+    dir: HashMap<LineAddr, LineDir>,
+    accesses: u64,
+    l1_hits: u64,
+    l2_hits: u64,
+    remote_l2_hits: u64,
+    l3_hits: u64,
+    mem_accesses: u64,
+}
+
+impl CacheModel {
+    /// Create a cache model for `num_tiles` tiles of `cores_per_tile` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_tiles` or `cores_per_tile` is zero.
+    pub fn new(cfg: CacheConfig, num_tiles: usize, cores_per_tile: u32) -> Self {
+        assert!(num_tiles > 0, "num_tiles must be positive");
+        assert!(cores_per_tile > 0, "cores_per_tile must be positive");
+        let num_cores = num_tiles * cores_per_tile as usize;
+        CacheModel {
+            l1: (0..num_cores).map(|_| LruSet::new(cfg.l1_lines.max(1))).collect(),
+            l2: (0..num_tiles).map(|_| LruSet::new(cfg.l2_lines.max(1))).collect(),
+            l3: (0..num_tiles).map(|_| LruSet::new(cfg.l3_lines_per_tile.max(1))).collect(),
+            dir: HashMap::new(),
+            cfg,
+            cores_per_tile,
+            num_tiles,
+            accesses: 0,
+            l1_hits: 0,
+            l2_hits: 0,
+            remote_l2_hits: 0,
+            l3_hits: 0,
+            mem_accesses: 0,
+        }
+    }
+
+    /// Static-NUCA home tile of a line.
+    pub fn home_tile(&self, line: LineAddr) -> TileId {
+        TileId(swarm_types::hash_to_range(line.0, self.num_tiles) as u32)
+    }
+
+    fn tile_of(&self, core: CoreId) -> TileId {
+        core.tile(self.cores_per_tile)
+    }
+
+    fn sharer_bit(tile: TileId) -> u64 {
+        1u64 << (tile.index() as u64 % 64)
+    }
+
+    fn sharer_tiles(&self, mask: u64, exclude: TileId) -> Vec<TileId> {
+        (0..self.num_tiles.min(64))
+            .filter(|&t| t != exclude.index() && (mask >> t) & 1 == 1)
+            .map(|t| TileId(t as u32))
+            .collect()
+    }
+
+    /// Perform one access from `core` to `line` and report where it was
+    /// served from and which tiles were invalidated.
+    pub fn access(&mut self, core: CoreId, line: LineAddr, kind: AccessKind) -> AccessOutcome {
+        self.accesses += 1;
+        let tile = self.tile_of(core);
+        let key = line.0;
+
+        let l1_hit = self.l1[core.index()].touch(key);
+        let l2_hit = l1_hit || self.l2[tile.index()].touch(key);
+
+        let dir_snapshot = self.dir.get(&line).cloned().unwrap_or_default();
+        let home = TileId(swarm_types::hash_to_range(line.0, self.num_tiles) as u32);
+
+        // Determine where the data is found.
+        let (level, base_latency, remote) = if l1_hit {
+            self.l1_hits += 1;
+            (HitLevel::L1, self.cfg.l1_latency, false)
+        } else if l2_hit {
+            self.l2_hits += 1;
+            (HitLevel::L2, self.cfg.l1_latency + self.cfg.l2_latency, false)
+        } else {
+            // Miss in the local tile: consult the (home) directory.
+            let remote_holder = dir_snapshot
+                .owner
+                .filter(|o| *o != tile)
+                .or_else(|| self.dir_first_other_sharer(dir_snapshot.sharers, tile));
+            if let Some(owner) = remote_holder {
+                self.remote_l2_hits += 1;
+                (
+                    HitLevel::RemoteL2 { owner },
+                    self.cfg.l1_latency + self.cfg.l2_latency * 2 + self.cfg.l3_latency,
+                    true,
+                )
+            } else if dir_snapshot.in_l3 && self.l3[home.index()].contains(key) {
+                self.l3_hits += 1;
+                (
+                    HitLevel::L3 { home },
+                    self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.l3_latency,
+                    true,
+                )
+            } else {
+                self.mem_accesses += 1;
+                (
+                    HitLevel::Memory { home },
+                    self.cfg.l1_latency
+                        + self.cfg.l2_latency
+                        + self.cfg.l3_latency
+                        + self.cfg.mem_latency,
+                    true,
+                )
+            }
+        };
+
+        // Writes invalidate every other tile's copy.
+        let mut invalidated = Vec::new();
+        if kind == AccessKind::Write {
+            let others = self.sharer_tiles(dir_snapshot.sharers, tile);
+            for other in &others {
+                self.l2[other.index()].remove(key);
+                let first_core = other.index() * self.cores_per_tile as usize;
+                for c in first_core..first_core + self.cores_per_tile as usize {
+                    self.l1[c].remove(key);
+                }
+            }
+            invalidated = others;
+        }
+
+        // Update directory and fill caches along the way.
+        let dir = self.dir.entry(line).or_default();
+        match kind {
+            AccessKind::Read => {
+                dir.sharers |= Self::sharer_bit(tile);
+                if dir.owner != Some(tile) {
+                    // A remote read demotes the owner to sharer.
+                    dir.owner = None;
+                }
+            }
+            AccessKind::Write => {
+                dir.sharers = Self::sharer_bit(tile);
+                dir.owner = Some(tile);
+            }
+        }
+        dir.in_l3 = true;
+        self.l3[home.index()].insert(key);
+        self.l2[tile.index()].insert(key);
+        self.l1[core.index()].insert(key);
+
+        AccessOutcome { level, base_latency, invalidated, remote }
+    }
+
+    fn dir_first_other_sharer(&self, mask: u64, exclude: TileId) -> Option<TileId> {
+        (0..self.num_tiles.min(64))
+            .find(|&t| t != exclude.index() && (mask >> t) & 1 == 1)
+            .map(|t| TileId(t as u32))
+    }
+
+    /// Drop a line from every cache and the directory. Used when the
+    /// simulator wants to model explicit flushes in tests.
+    pub fn flush_line(&mut self, line: LineAddr) {
+        let key = line.0;
+        for l1 in &mut self.l1 {
+            l1.remove(key);
+        }
+        for l2 in &mut self.l2 {
+            l2.remove(key);
+        }
+        for l3 in &mut self.l3 {
+            l3.remove(key);
+        }
+        self.dir.remove(&line);
+    }
+
+    /// Total number of accesses observed.
+    pub fn access_count(&self) -> u64 {
+        self.accesses
+    }
+
+    /// (l1, l2, remote L2, l3, memory) hit counters.
+    pub fn hit_counters(&self) -> (u64, u64, u64, u64, u64) {
+        (self.l1_hits, self.l2_hits, self.remote_l2_hits, self.l3_hits, self.mem_accesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CacheModel {
+        CacheModel::new(CacheConfig::default(), 4, 4)
+    }
+
+    #[test]
+    fn first_access_misses_to_memory_then_hits_l1() {
+        let mut m = model();
+        let line = LineAddr(77);
+        let a = m.access(CoreId(0), line, AccessKind::Read);
+        assert!(matches!(a.level, HitLevel::Memory { .. }));
+        assert!(a.remote);
+        let b = m.access(CoreId(0), line, AccessKind::Read);
+        assert_eq!(b.level, HitLevel::L1);
+        assert!(!b.remote);
+        assert_eq!(b.base_latency, CacheConfig::default().l1_latency);
+    }
+
+    #[test]
+    fn same_tile_other_core_hits_l2() {
+        let mut m = model();
+        let line = LineAddr(5);
+        m.access(CoreId(0), line, AccessKind::Read);
+        let a = m.access(CoreId(1), line, AccessKind::Read);
+        assert_eq!(a.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn other_tile_gets_remote_l2_forward() {
+        let mut m = model();
+        let line = LineAddr(5);
+        m.access(CoreId(0), line, AccessKind::Read); // tile 0
+        let a = m.access(CoreId(4), line, AccessKind::Read); // tile 1
+        assert_eq!(a.level, HitLevel::RemoteL2 { owner: TileId(0) });
+        assert!(a.remote);
+    }
+
+    #[test]
+    fn write_invalidates_other_sharers() {
+        let mut m = model();
+        let line = LineAddr(9);
+        m.access(CoreId(0), line, AccessKind::Read); // tile 0 shares
+        m.access(CoreId(4), line, AccessKind::Read); // tile 1 shares
+        let w = m.access(CoreId(8), line, AccessKind::Write); // tile 2 writes
+        let mut inv = w.invalidated.clone();
+        inv.sort();
+        assert_eq!(inv, vec![TileId(0), TileId(1)]);
+        // After the invalidation, tile 0 re-reads remotely from tile 2.
+        let r = m.access(CoreId(0), line, AccessKind::Read);
+        assert_eq!(r.level, HitLevel::RemoteL2 { owner: TileId(2) });
+    }
+
+    #[test]
+    fn write_then_local_read_hits_l1() {
+        let mut m = model();
+        let line = LineAddr(13);
+        m.access(CoreId(2), line, AccessKind::Write);
+        let r = m.access(CoreId(2), line, AccessKind::Read);
+        assert_eq!(r.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn l1_capacity_eviction_falls_back_to_l2() {
+        let mut cfg = CacheConfig::default();
+        cfg.l1_lines = 2;
+        let mut m = CacheModel::new(cfg, 1, 1);
+        m.access(CoreId(0), LineAddr(1), AccessKind::Read);
+        m.access(CoreId(0), LineAddr(2), AccessKind::Read);
+        m.access(CoreId(0), LineAddr(3), AccessKind::Read); // evicts line 1 from L1
+        let a = m.access(CoreId(0), LineAddr(1), AccessKind::Read);
+        assert_eq!(a.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn flush_line_forces_memory_access() {
+        let mut m = model();
+        let line = LineAddr(21);
+        m.access(CoreId(0), line, AccessKind::Read);
+        m.flush_line(line);
+        let a = m.access(CoreId(0), line, AccessKind::Read);
+        assert!(matches!(a.level, HitLevel::Memory { .. }));
+    }
+
+    #[test]
+    fn home_tile_is_deterministic_and_in_range() {
+        let m = model();
+        for l in 0..100 {
+            let h = m.home_tile(LineAddr(l));
+            assert!(h.index() < 4);
+            assert_eq!(h, m.home_tile(LineAddr(l)));
+        }
+    }
+
+    #[test]
+    fn hit_counters_sum_to_access_count() {
+        let mut m = model();
+        for i in 0..50u64 {
+            m.access(CoreId((i % 16) as u32), LineAddr(i % 7), AccessKind::Read);
+        }
+        let (a, b, c, d, e) = m.hit_counters();
+        assert_eq!(a + b + c + d + e, m.access_count());
+    }
+}

@@ -1,0 +1,198 @@
+//! A small LRU set used to model finite cache capacities.
+
+use std::collections::HashMap;
+
+/// A fixed-capacity set of `u64` keys with least-recently-used eviction.
+///
+/// The cache model uses one `LruSet` per L1, per L2 and per L3 slice to
+/// decide whether a line is present at each level. The implementation is a
+/// doubly-linked list threaded through a `HashMap`, so every operation is
+/// O(1) and independent of capacity.
+#[derive(Debug, Clone)]
+pub struct LruSet {
+    capacity: usize,
+    // key -> (prev, next); u64::MAX marks "none".
+    links: HashMap<u64, (u64, u64)>,
+    head: u64, // most recently used
+    tail: u64, // least recently used
+}
+
+const NONE: u64 = u64::MAX;
+
+impl LruSet {
+    /// Create an LRU set holding at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruSet capacity must be positive");
+        LruSet { capacity, links: HashMap::new(), head: NONE, tail: NONE }
+    }
+
+    /// Number of keys currently held.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Maximum number of keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `key` is present (does not update recency).
+    pub fn contains(&self, key: u64) -> bool {
+        self.links.contains_key(&key)
+    }
+
+    fn unlink(&mut self, key: u64) {
+        let (prev, next) = self.links[&key];
+        if prev != NONE {
+            self.links.get_mut(&prev).expect("prev must exist").1 = next;
+        } else {
+            self.head = next;
+        }
+        if next != NONE {
+            self.links.get_mut(&next).expect("next must exist").0 = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, key: u64) {
+        let old_head = self.head;
+        self.links.insert(key, (NONE, old_head));
+        if old_head != NONE {
+            self.links.get_mut(&old_head).expect("head must exist").0 = key;
+        }
+        self.head = key;
+        if self.tail == NONE {
+            self.tail = key;
+        }
+    }
+
+    /// Mark `key` as most recently used if present; returns whether it was.
+    pub fn touch(&mut self, key: u64) -> bool {
+        if !self.links.contains_key(&key) {
+            return false;
+        }
+        if self.head == key {
+            return true;
+        }
+        self.unlink(key);
+        self.push_front(key);
+        true
+    }
+
+    /// Insert `key` as most recently used. Returns the evicted key, if the
+    /// set was full and a (different) key had to be removed.
+    pub fn insert(&mut self, key: u64) -> Option<u64> {
+        if self.touch(key) {
+            return None;
+        }
+        let mut evicted = None;
+        if self.links.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NONE);
+            self.unlink(victim);
+            self.links.remove(&victim);
+            evicted = Some(victim);
+        }
+        self.push_front(key);
+        evicted
+    }
+
+    /// Remove `key` if present; returns whether it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        if !self.links.contains_key(&key) {
+            return false;
+        }
+        self.unlink(key);
+        self.links.remove(&key);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut lru = LruSet::new(2);
+        assert!(lru.is_empty());
+        assert_eq!(lru.insert(1), None);
+        assert_eq!(lru.insert(2), None);
+        assert!(lru.contains(1));
+        assert!(lru.contains(2));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let mut lru = LruSet::new(2);
+        lru.insert(1);
+        lru.insert(2);
+        // Touch 1 so that 2 becomes the LRU victim.
+        assert!(lru.touch(1));
+        assert_eq!(lru.insert(3), Some(2));
+        assert!(lru.contains(1));
+        assert!(!lru.contains(2));
+        assert!(lru.contains(3));
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut lru = LruSet::new(2);
+        lru.insert(1);
+        lru.insert(2);
+        assert_eq!(lru.insert(2), None);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut lru = LruSet::new(1);
+        lru.insert(5);
+        assert!(lru.remove(5));
+        assert!(!lru.remove(5));
+        assert_eq!(lru.insert(6), None);
+        assert!(lru.contains(6));
+    }
+
+    #[test]
+    fn capacity_one_always_holds_last_key() {
+        let mut lru = LruSet::new(1);
+        for k in 0..100 {
+            lru.insert(k);
+            assert!(lru.contains(k));
+            assert_eq!(lru.len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LruSet::new(0);
+    }
+
+    #[test]
+    fn touch_missing_key_returns_false() {
+        let mut lru = LruSet::new(4);
+        assert!(!lru.touch(42));
+    }
+
+    #[test]
+    fn stress_never_exceeds_capacity() {
+        let mut lru = LruSet::new(8);
+        for k in 0..1000u64 {
+            lru.insert(k % 37);
+            assert!(lru.len() <= 8);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The simulated word-addressed shared memory and its undo records.
+
+use std::collections::HashMap;
+
+use swarm_types::Addr;
+
+/// One undo-log entry: the value a word held before a speculative store.
+///
+/// Entries carry a global sequence number so that, when a set of tasks
+/// aborts, their combined undo logs can be replayed newest-first, restoring
+/// memory exactly (the dependence-tracking in the simulator guarantees that
+/// every later writer of a line aborts whenever an earlier writer does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UndoEntry {
+    /// Address of the overwritten word.
+    pub addr: Addr,
+    /// Value the word held before the store.
+    pub old_value: u64,
+    /// Global store sequence number (monotonically increasing).
+    pub seq: u64,
+}
+
+/// Word-addressed simulated memory.
+///
+/// All mutable application state lives here so that speculative writes can be
+/// undo-logged and rolled back generically. Addresses are sparse; untouched
+/// words read as zero, mirroring zero-initialised allocations.
+#[derive(Debug, Clone, Default)]
+pub struct SimMemory {
+    words: HashMap<Addr, u64>,
+    store_seq: u64,
+}
+
+impl SimMemory {
+    /// Create an empty memory (all words read as zero).
+    pub fn new() -> Self {
+        SimMemory::default()
+    }
+
+    /// Read the word at `addr`.
+    pub fn load(&self, addr: Addr) -> u64 {
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Write `value` to `addr`, returning the previous value.
+    pub fn store(&mut self, addr: Addr, value: u64) -> u64 {
+        self.store_seq += 1;
+        match self.words.insert(addr, value) {
+            Some(old) => old,
+            None => 0,
+        }
+    }
+
+    /// Write `value` to `addr` and produce an [`UndoEntry`] recording the
+    /// previous value, tagged with a fresh global sequence number.
+    pub fn store_logged(&mut self, addr: Addr, value: u64) -> UndoEntry {
+        let old_value = self.load(addr);
+        self.store_seq += 1;
+        let seq = self.store_seq;
+        self.words.insert(addr, value);
+        UndoEntry { addr, old_value, seq }
+    }
+
+    /// Undo a single entry (restore the recorded old value).
+    pub fn rollback_entry(&mut self, entry: &UndoEntry) {
+        self.words.insert(entry.addr, entry.old_value);
+    }
+
+    /// Undo a batch of entries from (possibly) several tasks. Entries are
+    /// applied newest-first by sequence number regardless of input order.
+    pub fn rollback_all(&mut self, entries: &mut Vec<UndoEntry>) {
+        entries.sort_by(|a, b| b.seq.cmp(&a.seq));
+        for e in entries.iter() {
+            self.rollback_entry(e);
+        }
+        entries.clear();
+    }
+
+    /// Number of distinct words ever written.
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Total number of stores performed (including rolled-back ones).
+    pub fn store_count(&self) -> u64 {
+        self.store_seq
+    }
+
+    /// Iterate over all (address, value) pairs with non-default values.
+    pub fn iter(&self) -> impl Iterator<Item = (&Addr, &u64)> {
+        self.words.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_words_read_zero() {
+        let mem = SimMemory::new();
+        assert_eq!(mem.load(0), 0);
+        assert_eq!(mem.load(u64::MAX), 0);
+        assert_eq!(mem.footprint_words(), 0);
+    }
+
+    #[test]
+    fn store_returns_previous_value() {
+        let mut mem = SimMemory::new();
+        assert_eq!(mem.store(8, 1), 0);
+        assert_eq!(mem.store(8, 2), 1);
+        assert_eq!(mem.load(8), 2);
+    }
+
+    #[test]
+    fn store_logged_and_rollback_restore_value() {
+        let mut mem = SimMemory::new();
+        mem.store(16, 10);
+        let undo = mem.store_logged(16, 99);
+        assert_eq!(undo.old_value, 10);
+        assert_eq!(mem.load(16), 99);
+        mem.rollback_entry(&undo);
+        assert_eq!(mem.load(16), 10);
+    }
+
+    #[test]
+    fn rollback_all_restores_in_reverse_sequence_order() {
+        let mut mem = SimMemory::new();
+        mem.store(0, 1);
+        // Two speculative writers to the same word, in order.
+        let u1 = mem.store_logged(0, 2); // old = 1
+        let u2 = mem.store_logged(0, 3); // old = 2
+        assert_eq!(mem.load(0), 3);
+        // Present the entries in the "wrong" order; rollback_all must sort.
+        let mut entries = vec![u1, u2];
+        mem.rollback_all(&mut entries);
+        assert_eq!(mem.load(0), 1);
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn store_count_tracks_all_stores() {
+        let mut mem = SimMemory::new();
+        mem.store(0, 1);
+        mem.store_logged(0, 2);
+        assert_eq!(mem.store_count(), 2);
+    }
+
+    #[test]
+    fn iter_reports_written_words() {
+        let mut mem = SimMemory::new();
+        mem.store(64, 5);
+        mem.store(128, 6);
+        let mut pairs: Vec<(u64, u64)> = mem.iter().map(|(a, v)| (*a, *v)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(64, 5), (128, 6)]);
+    }
+}

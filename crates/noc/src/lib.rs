@@ -1,0 +1,29 @@
+//! On-chip network model: a 2D mesh with X-Y routing, per-hop latencies and
+//! flit-level traffic accounting by message class.
+//!
+//! The paper's machine uses a 16×16 mesh of 128-bit links with X-Y routing,
+//! one cycle per hop when going straight and two on turns (Table II). The
+//! evaluation reports NoC data transferred broken down into memory accesses,
+//! abort traffic, task enqueues, and GVT updates (Fig. 5b); [`TrafficStats`]
+//! mirrors exactly those categories.
+//!
+//! # Example
+//!
+//! ```
+//! use swarm_noc::{Mesh, TrafficClass, TrafficStats};
+//! use swarm_types::{NocConfig, TileId};
+//!
+//! let mesh = Mesh::new(4, 4, NocConfig::default());
+//! let hops = mesh.hops(TileId(0), TileId(15));
+//! assert_eq!(hops, 6); // 3 in X + 3 in Y
+//!
+//! let mut traffic = TrafficStats::default();
+//! traffic.record(TrafficClass::Task, hops, 2);
+//! assert_eq!(traffic.task_flit_hops, 12);
+//! ```
+
+pub mod mesh;
+pub mod traffic;
+
+pub use mesh::Mesh;
+pub use traffic::{TrafficClass, TrafficStats};

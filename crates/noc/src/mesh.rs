@@ -1,0 +1,202 @@
+//! Mesh geometry, routing distance and latency.
+
+use swarm_types::{NocConfig, TileId};
+
+/// A 2D mesh of tiles with dimension-ordered (X-Y) routing.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    width: u32,
+    height: u32,
+    cfg: NocConfig,
+}
+
+impl Mesh {
+    /// Create a `width` × `height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32, cfg: NocConfig) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Mesh { width, height, cfg }
+    }
+
+    /// Number of tiles in the mesh.
+    pub fn num_tiles(&self) -> usize {
+        (self.width * self.height) as usize
+    }
+
+    /// Mesh width (tiles along X).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Mesh height (tiles along Y).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// (x, y) coordinates of a tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is outside the mesh.
+    pub fn coords(&self, tile: TileId) -> (u32, u32) {
+        assert!(
+            tile.index() < self.num_tiles(),
+            "tile {tile} outside {}x{} mesh",
+            self.width,
+            self.height
+        );
+        (tile.0 % self.width, tile.0 / self.width)
+    }
+
+    /// Tile at coordinates (x, y).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates fall outside the mesh.
+    pub fn tile_at(&self, x: u32, y: u32) -> TileId {
+        assert!(x < self.width && y < self.height, "({x},{y}) outside mesh");
+        TileId(y * self.width + x)
+    }
+
+    /// Manhattan hop count between two tiles under X-Y routing.
+    pub fn hops(&self, from: TileId, to: TileId) -> u64 {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u64
+    }
+
+    /// Network latency in cycles from `from` to `to`: per-hop latency plus a
+    /// turn penalty when the X-Y route changes dimension.
+    pub fn latency(&self, from: TileId, to: TileId) -> u64 {
+        if from == to {
+            return 0;
+        }
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        let hops = self.hops(from, to);
+        let turns = u64::from(fx != tx && fy != ty);
+        hops * self.cfg.hop_latency + turns * self.cfg.turn_penalty
+    }
+
+    /// Number of flits needed to move `bytes` of payload over this mesh's
+    /// links, including one head flit of control.
+    pub fn flits_for_bytes(&self, bytes: u64) -> u64 {
+        let bits = bytes * 8;
+        let link = self.cfg.link_bits.max(1);
+        self.cfg.control_flits + bits.div_ceil(link)
+    }
+
+    /// Flits for a full cache line (64 bytes).
+    pub fn line_flits(&self) -> u64 {
+        self.flits_for_bytes(swarm_types::CACHE_LINE_BYTES)
+    }
+
+    /// Flits for a short control-only message (GVT update, abort signal).
+    pub fn control_flits(&self) -> u64 {
+        self.cfg.control_flits
+    }
+
+    /// Average hop distance between distinct tiles (useful as a sanity check
+    /// and in the analytical tests).
+    pub fn mean_hops(&self) -> f64 {
+        let n = self.num_tiles();
+        if n <= 1 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    total += self.hops(TileId(a as u32), TileId(b as u32));
+                    pairs += 1;
+                }
+            }
+        }
+        total as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh4x4() -> Mesh {
+        Mesh::new(4, 4, NocConfig::default())
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let m = mesh4x4();
+        for t in 0..16u32 {
+            let (x, y) = m.coords(TileId(t));
+            assert_eq!(m.tile_at(x, y), TileId(t));
+        }
+    }
+
+    #[test]
+    fn hops_are_manhattan_distance() {
+        let m = mesh4x4();
+        assert_eq!(m.hops(TileId(0), TileId(0)), 0);
+        assert_eq!(m.hops(TileId(0), TileId(3)), 3);
+        assert_eq!(m.hops(TileId(0), TileId(12)), 3);
+        assert_eq!(m.hops(TileId(0), TileId(15)), 6);
+        assert_eq!(m.hops(TileId(5), TileId(10)), 2);
+    }
+
+    #[test]
+    fn hops_are_symmetric() {
+        let m = mesh4x4();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                assert_eq!(m.hops(TileId(a), TileId(b)), m.hops(TileId(b), TileId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn latency_adds_turn_penalty() {
+        let m = mesh4x4();
+        // Straight along X: no turn.
+        assert_eq!(m.latency(TileId(0), TileId(3)), 3);
+        // Diagonal route: one turn.
+        assert_eq!(m.latency(TileId(0), TileId(5)), 2 + 1);
+        // Same tile: free.
+        assert_eq!(m.latency(TileId(7), TileId(7)), 0);
+    }
+
+    #[test]
+    fn line_flits_match_link_width() {
+        let m = mesh4x4();
+        // 64 bytes = 512 bits over 128-bit links = 4 flits + 1 control.
+        assert_eq!(m.line_flits(), 5);
+        assert_eq!(m.control_flits(), 1);
+        assert_eq!(m.flits_for_bytes(0), 1);
+        assert_eq!(m.flits_for_bytes(16), 2);
+    }
+
+    #[test]
+    fn single_tile_mesh_is_free() {
+        let m = Mesh::new(1, 1, NocConfig::default());
+        assert_eq!(m.num_tiles(), 1);
+        assert_eq!(m.latency(TileId(0), TileId(0)), 0);
+        assert_eq!(m.mean_hops(), 0.0);
+    }
+
+    #[test]
+    fn mean_hops_grows_with_mesh_size() {
+        let small = Mesh::new(2, 2, NocConfig::default()).mean_hops();
+        let large = Mesh::new(8, 8, NocConfig::default()).mean_hops();
+        assert!(large > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_tile_panics() {
+        let m = mesh4x4();
+        let _ = m.coords(TileId(16));
+    }
+}

@@ -1,0 +1,154 @@
+//! Traffic accounting by message class (the categories of Fig. 5b).
+
+use std::ops::AddAssign;
+
+/// Classes of NoC traffic reported by the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Memory accesses between L2s and the LLC, or LLC and main memory.
+    Memory,
+    /// Abort traffic: child-abort messages and rollback memory accesses.
+    Abort,
+    /// Task descriptors enqueued to remote tiles.
+    Task,
+    /// GVT (commit protocol) updates.
+    Gvt,
+}
+
+impl TrafficClass {
+    /// All classes, in the order the paper's figures stack them.
+    pub const ALL: [TrafficClass; 4] =
+        [TrafficClass::Memory, TrafficClass::Abort, TrafficClass::Task, TrafficClass::Gvt];
+
+    /// Short label used by the harness tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Memory => "mem",
+            TrafficClass::Abort => "abort",
+            TrafficClass::Task => "task",
+            TrafficClass::Gvt => "gvt",
+        }
+    }
+}
+
+/// Flit-hop counters per traffic class.
+///
+/// We account traffic in *flit-hops* (flits × hops travelled): this is
+/// proportional to the energy and bandwidth consumed and matches the paper's
+/// "NoC data transferred (total flits injected)" metric up to a constant
+/// factor when comparing schedulers on the same workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Memory-access flit-hops.
+    pub mem_flit_hops: u64,
+    /// Abort and rollback flit-hops.
+    pub abort_flit_hops: u64,
+    /// Task-enqueue flit-hops.
+    pub task_flit_hops: u64,
+    /// GVT-update flit-hops.
+    pub gvt_flit_hops: u64,
+}
+
+impl TrafficStats {
+    /// Record `flits` of class `class` travelling `hops` hops.
+    pub fn record(&mut self, class: TrafficClass, hops: u64, flits: u64) {
+        let amount = hops * flits;
+        match class {
+            TrafficClass::Memory => self.mem_flit_hops += amount,
+            TrafficClass::Abort => self.abort_flit_hops += amount,
+            TrafficClass::Task => self.task_flit_hops += amount,
+            TrafficClass::Gvt => self.gvt_flit_hops += amount,
+        }
+    }
+
+    /// Total flit-hops over all classes.
+    pub fn total(&self) -> u64 {
+        self.mem_flit_hops + self.abort_flit_hops + self.task_flit_hops + self.gvt_flit_hops
+    }
+
+    /// Flit-hops of one class.
+    pub fn of(&self, class: TrafficClass) -> u64 {
+        match class {
+            TrafficClass::Memory => self.mem_flit_hops,
+            TrafficClass::Abort => self.abort_flit_hops,
+            TrafficClass::Task => self.task_flit_hops,
+            TrafficClass::Gvt => self.gvt_flit_hops,
+        }
+    }
+
+    /// Fraction of the total contributed by one class (0 if no traffic).
+    pub fn fraction(&self, class: TrafficClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.of(class) as f64 / total as f64
+        }
+    }
+}
+
+impl AddAssign for TrafficStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.mem_flit_hops += rhs.mem_flit_hops;
+        self.abort_flit_hops += rhs.abort_flit_hops;
+        self.task_flit_hops += rhs.task_flit_hops;
+        self.gvt_flit_hops += rhs.gvt_flit_hops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_class() {
+        let mut t = TrafficStats::default();
+        t.record(TrafficClass::Memory, 3, 5);
+        t.record(TrafficClass::Memory, 1, 1);
+        t.record(TrafficClass::Abort, 2, 2);
+        t.record(TrafficClass::Task, 4, 2);
+        t.record(TrafficClass::Gvt, 1, 1);
+        assert_eq!(t.mem_flit_hops, 16);
+        assert_eq!(t.abort_flit_hops, 4);
+        assert_eq!(t.task_flit_hops, 8);
+        assert_eq!(t.gvt_flit_hops, 1);
+        assert_eq!(t.total(), 29);
+    }
+
+    #[test]
+    fn zero_hops_records_nothing() {
+        let mut t = TrafficStats::default();
+        t.record(TrafficClass::Memory, 0, 100);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.fraction(TrafficClass::Memory), 0.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_when_nonempty() {
+        let mut t = TrafficStats::default();
+        for (i, class) in TrafficClass::ALL.iter().enumerate() {
+            t.record(*class, (i + 1) as u64, 2);
+        }
+        let sum: f64 = TrafficClass::ALL.iter().map(|c| t.fraction(*c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_merges_counters() {
+        let mut a = TrafficStats::default();
+        a.record(TrafficClass::Task, 2, 3);
+        let mut b = TrafficStats::default();
+        b.record(TrafficClass::Task, 1, 1);
+        b.record(TrafficClass::Gvt, 1, 1);
+        a += b;
+        assert_eq!(a.task_flit_hops, 7);
+        assert_eq!(a.gvt_flit_hops, 1);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            TrafficClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

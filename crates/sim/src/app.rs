@@ -1,0 +1,191 @@
+//! The application-facing Swarm programming interface.
+//!
+//! Applications are collections of *task functions*. Each task receives its
+//! timestamp and arguments and runs against a [`TaskCtx`], which provides
+//! speculative loads/stores to the simulated shared memory and the
+//! `swarm::enqueue` primitive for creating child tasks with spatial hints
+//! (Listing 1 and 2 of the paper map directly onto this API).
+
+use std::collections::HashSet;
+
+use swarm_mem::{SimMemory, UndoEntry};
+use swarm_types::{Addr, CoreId, Hint, LineAddr, TaskFnId, TaskId, Timestamp};
+
+use crate::state::SimState;
+use crate::task::{InitialTask, PendingChild};
+
+/// A speculative parallel program runnable on the simulator.
+///
+/// Implementations hold their *read-only* data (graph topology, circuit
+/// netlist, table schemas, ...) in ordinary Rust structures; all *mutable
+/// shared state* must live in the simulated memory and be accessed through
+/// the [`TaskCtx`], so that conflict detection and rollback see it.
+pub trait SwarmApp {
+    /// Application name (used in reports, e.g. `"sssp-fine"`).
+    fn name(&self) -> &str;
+
+    /// Initialise the simulated shared memory before the parallel region
+    /// starts (the sequential setup the paper fast-forwards over). Writes
+    /// made here are not speculative and are not counted in any statistic.
+    fn init_memory(&self, _mem: &mut SimMemory) {}
+
+    /// The tasks enqueued before `swarm::run()` is called.
+    fn initial_tasks(&self) -> Vec<InitialTask>;
+
+    /// Run one task. `fid` selects the task function; `ts` and `args` are the
+    /// values passed at enqueue time.
+    fn run_task(&self, fid: TaskFnId, ts: Timestamp, args: &[u64], ctx: &mut TaskCtx<'_>);
+
+    /// Number of distinct task functions (the "Task Funcs" column of
+    /// Table I).
+    fn num_task_fns(&self) -> usize {
+        1
+    }
+
+    /// Check the final committed memory state against a serial reference
+    /// execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch found.
+    fn validate(&self, _mem: &SimMemory) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Result of executing one task body, handed back to the engine for
+/// integration into the task's speculative record.
+#[derive(Debug)]
+pub struct ExecutionOutcome {
+    /// Cycles consumed by the execution (memory, compute and task-management
+    /// overheads).
+    pub cycles: u64,
+    /// Distinct cache lines read.
+    pub read_lines: Vec<LineAddr>,
+    /// Distinct cache lines written.
+    pub write_lines: Vec<LineAddr>,
+    /// Undo-log entries for every store performed (already applied).
+    pub undo: Vec<UndoEntry>,
+    /// Word-granular access trace (profiling only).
+    pub trace: Vec<(Addr, bool)>,
+    /// Children requested via [`TaskCtx::enqueue`].
+    pub children: Vec<PendingChild>,
+}
+
+/// Execution context handed to a running task.
+///
+/// All methods charge simulated cycles to the running task; the sum becomes
+/// the task's execution latency.
+pub struct TaskCtx<'a> {
+    state: &'a mut SimState,
+    task: TaskId,
+    core: CoreId,
+    ts: Timestamp,
+    cycles: u64,
+    read_lines: HashSet<LineAddr>,
+    write_lines: HashSet<LineAddr>,
+    undo: Vec<UndoEntry>,
+    trace: Vec<(Addr, bool)>,
+    children: Vec<PendingChild>,
+}
+
+impl<'a> TaskCtx<'a> {
+    /// Create a context for `task` running on `core`. Charges the base task
+    /// overhead (dequeue + task body setup) immediately.
+    pub(crate) fn new(state: &'a mut SimState, task: TaskId, core: CoreId, ts: Timestamp) -> Self {
+        let base = state.cfg.spec.task_base_cost + state.cfg.spec.task_mgmt_cost;
+        TaskCtx {
+            state,
+            task,
+            core,
+            ts,
+            cycles: base,
+            read_lines: HashSet::new(),
+            write_lines: HashSet::new(),
+            undo: Vec::new(),
+            trace: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// This task's timestamp.
+    pub fn timestamp(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Speculatively read the 64-bit word at `addr`.
+    pub fn read(&mut self, addr: Addr) -> u64 {
+        let (value, latency) = self.state.speculative_read(self.task, self.core, addr);
+        self.cycles += latency;
+        self.read_lines.insert(LineAddr::containing(addr));
+        if self.state.profiling {
+            self.trace.push((addr, false));
+        }
+        value
+    }
+
+    /// Speculatively write `value` to the 64-bit word at `addr`.
+    pub fn write(&mut self, addr: Addr, value: u64) {
+        let (undo, latency) = self.state.speculative_write(self.task, self.core, addr, value);
+        self.cycles += latency;
+        self.write_lines.insert(LineAddr::containing(addr));
+        self.undo.push(undo);
+        if self.state.profiling {
+            self.trace.push((addr, true));
+        }
+    }
+
+    /// Read-modify-write convenience: `read` then `write(f(old))`, returning
+    /// the old value.
+    pub fn update(&mut self, addr: Addr, f: impl FnOnce(u64) -> u64) -> u64 {
+        let old = self.read(addr);
+        self.write(addr, f(old));
+        old
+    }
+
+    /// Charge `cycles` of pure computation to this task.
+    pub fn compute(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Enqueue a child task (`swarm::enqueue(taskFn, timestamp, hint,
+    /// args...)` in the paper's API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` is lower than this task's timestamp: Swarm only allows
+    /// children with equal or later timestamps.
+    pub fn enqueue(&mut self, fid: TaskFnId, ts: Timestamp, hint: Hint, args: Vec<u64>) {
+        assert!(
+            ts >= self.ts,
+            "child timestamp {ts} is lower than parent timestamp {}",
+            self.ts
+        );
+        self.cycles += self.state.cfg.spec.task_mgmt_cost;
+        self.children.push(PendingChild { fid, ts, hint, args });
+    }
+
+    /// Number of children enqueued so far by this execution.
+    pub fn children_enqueued(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Cycles charged so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Tear the context down into an [`ExecutionOutcome`], charging the
+    /// finish overhead.
+    pub(crate) fn into_outcome(mut self) -> ExecutionOutcome {
+        self.cycles += self.state.cfg.spec.task_mgmt_cost;
+        ExecutionOutcome {
+            cycles: self.cycles,
+            read_lines: self.read_lines.into_iter().collect(),
+            write_lines: self.write_lines.into_iter().collect(),
+            undo: self.undo,
+            trace: self.trace,
+            children: self.children,
+        }
+    }
+}

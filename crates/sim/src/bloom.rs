@@ -1,0 +1,136 @@
+//! Bloom-filter signatures for conflict detection (LogTM-SE style).
+//!
+//! Swarm tracks each task's read and write sets in per-task Bloom filters
+//! (2 Kbit, 8 hash functions in Table II). The simulator keeps exact sets for
+//! architectural correctness, and uses these signatures to (a) model the
+//! false-positive conflicts a real signature would produce (optional) and
+//! (b) charge conflict-check costs.
+
+use swarm_types::hashing::HashFamily;
+use swarm_types::LineAddr;
+
+/// A fixed-size Bloom filter over cache-line addresses.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    hashes: HashFamily,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Create a filter with `num_bits` bits and `num_hashes` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits` or `num_hashes` is zero.
+    pub fn new(num_bits: usize, num_hashes: usize) -> Self {
+        assert!(num_bits > 0, "Bloom filter must have at least one bit");
+        assert!(num_hashes > 0, "Bloom filter must have at least one hash");
+        BloomFilter {
+            bits: vec![0u64; num_bits.div_ceil(64)],
+            num_bits,
+            hashes: HashFamily::new(num_hashes),
+            inserted: 0,
+        }
+    }
+
+    /// Insert a line into the signature.
+    pub fn insert(&mut self, line: LineAddr) {
+        for i in 0..self.hashes.len() {
+            let bit = self.hashes.hash(i, line.0, self.num_bits);
+            self.bits[bit / 64] |= 1u64 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Whether the signature may contain `line` (false positives possible,
+    /// false negatives impossible).
+    pub fn maybe_contains(&self, line: LineAddr) -> bool {
+        (0..self.hashes.len()).all(|i| {
+            let bit = self.hashes.hash(i, line.0, self.num_bits);
+            self.bits[bit / 64] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Clear the signature.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.inserted = 0;
+    }
+
+    /// Number of insertions since the last clear.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Number of bits set (for occupancy diagnostics).
+    pub fn popcount(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_lines_are_found() {
+        let mut f = BloomFilter::new(2048, 8);
+        for i in 0..100u64 {
+            f.insert(LineAddr(i * 17));
+        }
+        for i in 0..100u64 {
+            assert!(f.maybe_contains(LineAddr(i * 17)));
+        }
+        assert_eq!(f.inserted(), 100);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(2048, 8);
+        for i in 0..100u64 {
+            assert!(!f.maybe_contains(LineAddr(i)));
+        }
+        assert_eq!(f.popcount(), 0);
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_at_paper_sizing() {
+        // The paper's tasks are short (tens of accesses); at 2 Kbit / 8
+        // hashes the false-positive rate for ~32 inserted lines is tiny.
+        let mut f = BloomFilter::new(2048, 8);
+        for i in 0..32u64 {
+            f.insert(LineAddr(1_000_000 + i));
+        }
+        let false_positives =
+            (0..10_000u64).filter(|&i| f.maybe_contains(LineAddr(i))).count();
+        assert!(false_positives < 20, "too many false positives: {false_positives}");
+    }
+
+    #[test]
+    fn clear_resets_the_signature() {
+        let mut f = BloomFilter::new(256, 4);
+        f.insert(LineAddr(3));
+        assert!(f.maybe_contains(LineAddr(3)));
+        f.clear();
+        assert!(!f.maybe_contains(LineAddr(3)));
+        assert_eq!(f.inserted(), 0);
+    }
+
+    #[test]
+    fn small_filter_saturates_and_reports_positives() {
+        let mut f = BloomFilter::new(8, 2);
+        for i in 0..64u64 {
+            f.insert(LineAddr(i));
+        }
+        // A saturated signature reports (false) positives for unseen lines.
+        assert!(f.maybe_contains(LineAddr(1_000_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_panics() {
+        let _ = BloomFilter::new(0, 1);
+    }
+}

@@ -1,0 +1,540 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the [`SimState`], the application and the scheduler
+//! ([`TaskMapper`]), and drives the Swarm execution model:
+//!
+//! * cores dequeue the earliest-timestamp dispatchable task from their tile's
+//!   task unit (optionally skipping tasks whose hashed hint matches a running
+//!   task — the same-hint serialization of Section III-B);
+//! * task bodies run speculatively against the simulated memory with eager
+//!   conflict detection and undo-log rollback;
+//! * children are enqueued to the tile chosen by the mapper when their parent
+//!   finishes;
+//! * a periodic GVT update commits every finished task that precedes the
+//!   earliest unfinished task (plus, optionally, independent equal-timestamp
+//!   tasks, which unordered programs rely on);
+//! * a periodic load-balancer epoch lets hint-based mappers remap buckets.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use swarm_noc::TrafficClass;
+use swarm_types::{
+    CoreId, Hint, SimError, SimResult, SystemConfig, TaskId, TileId, Timestamp,
+};
+
+use crate::app::{ExecutionOutcome, SwarmApp, TaskCtx};
+use crate::mapper::TaskMapper;
+use crate::state::{CoreState, SimState};
+use crate::stats::RunStats;
+use crate::task::{PendingChild, TaskDescriptor, TaskStatus};
+
+/// Default safety limit on executed task bodies (including aborted
+/// re-executions); exceeding it aborts the run with
+/// [`SimError::TaskLimitExceeded`].
+pub const DEFAULT_TASK_LIMIT: u64 = 50_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A core finished executing its current task.
+    Finish(CoreId),
+    /// A core should (re)attempt to dispatch a task.
+    TryDispatch(CoreId),
+    /// Periodic global-virtual-time update (commits).
+    Gvt,
+    /// Periodic load-balancer reconfiguration opportunity.
+    LbEpoch,
+}
+
+/// The simulation engine. Construct one per run.
+pub struct Engine {
+    state: SimState,
+    app: Box<dyn SwarmApp>,
+    mapper: Box<dyn TaskMapper>,
+    events: BinaryHeap<Reverse<(u64, u64, Event)>>,
+    event_seq: u64,
+    now: u64,
+    executed_bodies: u64,
+    task_limit: u64,
+    gvt_updates: u64,
+    lb_reconfigs: u64,
+    pending_children: HashMap<TaskId, Vec<PendingChild>>,
+    validate_result: bool,
+}
+
+impl Engine {
+    /// Create an engine for `cfg` running `app` under `mapper`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: SystemConfig, app: Box<dyn SwarmApp>, mapper: Box<dyn TaskMapper>) -> Self {
+        Engine {
+            state: SimState::new(cfg),
+            app,
+            mapper,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            now: 0,
+            executed_bodies: 0,
+            task_limit: DEFAULT_TASK_LIMIT,
+            gvt_updates: 0,
+            lb_reconfigs: 0,
+            pending_children: HashMap::new(),
+            validate_result: true,
+        }
+    }
+
+    /// Enable collection of per-committed-task access traces (needed for the
+    /// access classification of Fig. 3 / Fig. 6).
+    pub fn enable_profiling(&mut self) -> &mut Self {
+        self.state.profiling = true;
+        self
+    }
+
+    /// Disable the end-of-run validation against the application's serial
+    /// reference (used by tests that deliberately corrupt state).
+    pub fn disable_validation(&mut self) -> &mut Self {
+        self.validate_result = false;
+        self
+    }
+
+    /// Override the executed-task safety limit.
+    pub fn set_task_limit(&mut self, limit: u64) -> &mut Self {
+        self.task_limit = limit;
+        self
+    }
+
+    /// Read-only access to the simulation state (for tests and tools).
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    fn schedule(&mut self, at: u64, event: Event) {
+        self.event_seq += 1;
+        self.events.push(Reverse((at, self.event_seq, event)));
+    }
+
+    /// Run the application to completion and return the run statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the executed-task safety limit is exceeded, if a
+    /// child task regresses its parent's timestamp, or if the final memory
+    /// state fails the application's validation.
+    pub fn run(&mut self) -> SimResult<RunStats> {
+        // Sequential setup: let the application lay out its initial data.
+        self.app.init_memory(&mut self.state.mem);
+        // Enqueue the initial tasks (the program's `main`).
+        let initial = self.app.initial_tasks();
+        for t in initial {
+            self.enqueue_task(t.fid, t.ts, t.hint, t.args, None)?;
+        }
+        self.process_wakes();
+        let gvt_epoch = self.state.cfg.spec.gvt_epoch;
+        let lb_epoch = self.state.cfg.lb_epoch;
+        self.schedule(gvt_epoch, Event::Gvt);
+        self.schedule(lb_epoch, Event::LbEpoch);
+
+        while self.state.remaining_tasks > 0 {
+            let Some(Reverse((at, _, event))) = self.events.pop() else {
+                // No events but tasks remain: force a GVT update to commit
+                // whatever can commit (this should not normally happen).
+                self.now += gvt_epoch;
+                self.handle_gvt();
+                continue;
+            };
+            self.now = at.max(self.now);
+            match event {
+                Event::Finish(core) => self.handle_finish(core)?,
+                Event::TryDispatch(core) => self.handle_try_dispatch(core)?,
+                Event::Gvt => self.handle_gvt(),
+                Event::LbEpoch => self.handle_lb_epoch(),
+            }
+            if self.executed_bodies > self.task_limit {
+                return Err(SimError::TaskLimitExceeded(self.task_limit));
+            }
+        }
+
+        let runtime = self.now;
+        // Close out idle/stall accounting for cores that never woke again.
+        for i in 0..self.state.cores.len() {
+            match self.state.cores[i] {
+                CoreState::Idle { since } => {
+                    self.state.breakdown.empty += runtime.saturating_sub(since);
+                }
+                CoreState::Stalled { since } => {
+                    self.state.breakdown.stall += runtime.saturating_sub(since);
+                }
+                CoreState::Busy { .. } => {}
+            }
+        }
+
+        if self.validate_result {
+            self.app
+                .validate(&self.state.mem)
+                .map_err(SimError::ValidationFailed)?;
+        }
+
+        Ok(self.collect_stats(runtime))
+    }
+
+    fn collect_stats(&mut self, runtime: u64) -> RunStats {
+        RunStats {
+            scheduler: self.mapper.name().to_string(),
+            app: self.app.name().to_string(),
+            cores: self.state.cfg.num_cores(),
+            runtime_cycles: runtime,
+            breakdown: self.state.breakdown,
+            traffic: self.state.traffic,
+            tasks_committed: self.state.tasks_committed,
+            tasks_aborted: self.state.tasks_aborted,
+            tasks_spilled: self.state.tasks_spilled,
+            gvt_updates: self.gvt_updates,
+            lb_reconfigs: self.lb_reconfigs,
+            committed_cycles_per_tile: self.state.committed_cycles_per_tile.clone(),
+            committed_accesses: std::mem::take(&mut self.state.committed_accesses),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task creation
+    // ------------------------------------------------------------------
+
+    fn enqueue_task(
+        &mut self,
+        fid: u16,
+        ts: Timestamp,
+        hint: Hint,
+        args: Vec<u64>,
+        parent: Option<TaskId>,
+    ) -> SimResult<TaskId> {
+        let (parent_hint, parent_ts, parent_tile) = match parent {
+            Some(p) => {
+                let rec = self.state.record(p);
+                (Some(rec.desc.hint), Some(rec.desc.ts), Some(rec.desc.tile))
+            }
+            None => (None, None, None),
+        };
+        if let Some(pts) = parent_ts {
+            if ts < pts {
+                return Err(SimError::TimestampRegression { parent: pts, child: ts });
+            }
+        }
+        let resolved = hint.resolve(parent_hint);
+        let num_tiles = self.state.cfg.num_tiles();
+        let tile = match (resolved, parent_tile) {
+            // SAMEHINT with no usable parent hint stays on the parent's tile,
+            // preserving parent-child locality as the paper prescribes.
+            (Hint::None, Some(pt)) if hint == Hint::Same => pt,
+            _ => self.mapper.map_task(resolved, parent_tile, num_tiles),
+        };
+        let bucket = self.mapper.bucket_of(resolved);
+        let desc = TaskDescriptor {
+            id: TaskId(0), // assigned by add_task
+            fid,
+            ts,
+            hint: resolved,
+            hint_hash: resolved.hash16(),
+            bucket,
+            args,
+            parent,
+            tile,
+        };
+        let id = self.state.add_task(desc);
+        if let Some(p) = parent {
+            self.state.record_mut(p).children.push(id);
+        }
+        // Task descriptors sent to a remote tile consume network bandwidth.
+        if let Some(src) = parent_tile {
+            if src != tile {
+                let hops = self.state.mesh.hops(src, tile);
+                let flits = self.state.mesh.flits_for_bytes(34);
+                self.state.traffic.record(TrafficClass::Task, hops, flits);
+            }
+        }
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn account_core_transition(&mut self, core: CoreId, new_state: CoreState) {
+        let old = self.state.cores[core.index()];
+        match old {
+            CoreState::Idle { since } => {
+                self.state.breakdown.empty += self.now.saturating_sub(since);
+            }
+            CoreState::Stalled { since } => {
+                self.state.breakdown.stall += self.now.saturating_sub(since);
+            }
+            CoreState::Busy { .. } => {}
+        }
+        self.state.cores[core.index()] = new_state;
+    }
+
+    fn process_wakes(&mut self) {
+        let tiles = self.state.drain_wakes();
+        if tiles.is_empty() {
+            return;
+        }
+        // Under a work-stealing scheduler, new work anywhere is a stealing
+        // opportunity for every out-of-work tile, so wake all non-busy cores;
+        // otherwise only the tiles that received work or freed queue slots
+        // need to re-attempt dispatch.
+        let cores: Vec<CoreId> = if self.mapper.steals() {
+            (0..self.state.cfg.num_cores() as u32).map(CoreId).collect()
+        } else {
+            tiles.iter().flat_map(|&tile| self.state.cores_of_tile(tile)).collect()
+        };
+        for core in cores {
+            if !matches!(self.state.cores[core.index()], CoreState::Busy { .. }) {
+                self.schedule(self.now, Event::TryDispatch(core));
+            }
+        }
+    }
+
+    /// Pick the next dispatchable task for `tile` respecting same-hint
+    /// serialization: the earliest-key idle task whose hashed hint does not
+    /// match an earlier-key task currently running on the tile.
+    fn select_candidate(&self, tile: TileId) -> Option<TaskId> {
+        let serialize = self.mapper.serialize_same_hint();
+        let tile_state = &self.state.tiles[tile.index()];
+        for &(ts, id) in tile_state.idle.iter() {
+            if !serialize {
+                return Some(id);
+            }
+            let hash = self.state.record(id).desc.hint_hash;
+            let conflicting = hash.is_some()
+                && tile_state.running.iter().any(|&r| {
+                    let rrec = self.state.record(r);
+                    !rrec.aborted
+                        && rrec.desc.hint_hash == hash
+                        && rrec.key() < (ts, id)
+                });
+            if !conflicting {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn handle_try_dispatch(&mut self, core: CoreId) -> SimResult<()> {
+        if matches!(self.state.cores[core.index()], CoreState::Busy { .. }) {
+            return Ok(());
+        }
+        let tile = self.state.tile_of_core(core);
+
+        // Refill spilled tasks if the queue ran dry, or if a spilled task
+        // now precedes everything left in the queue (it must run before the
+        // GVT can pass it).
+        {
+            let tile_state = &self.state.tiles[tile.index()];
+            let spilled_first = tile_state.spilled.first().copied();
+            let idle_first = tile_state.idle.first().copied();
+            let should_refill = match (spilled_first, idle_first) {
+                (Some(_), None) => true,
+                (Some(s), Some(i)) => s < i,
+                (None, _) => false,
+            };
+            if should_refill {
+                self.state.refill_tile(tile);
+            }
+        }
+
+        // Work stealing (idealized): grab the earliest task of the victim.
+        if self.state.tiles[tile.index()].idle.is_empty() && self.mapper.steals() {
+            let idle = self.state.idle_per_tile();
+            if let Some(victim) = self.mapper.steal_victim(tile, &idle) {
+                self.state.steal_task(tile, victim);
+            }
+        }
+
+        let Some(candidate) = self.select_candidate(tile) else {
+            self.account_core_transition(core, CoreState::Idle { since: self.now });
+            return Ok(());
+        };
+
+        // A dispatch reserves a commit-queue entry; if the commit queue is
+        // full, either abort the latest finished task (if the candidate
+        // precedes it) or stall the core.
+        let commit_cap = self.state.cfg.commit_queue_per_tile();
+        if self.state.tiles[tile.index()].commit_queue_occupancy() >= commit_cap {
+            let candidate_key = self.state.record(candidate).key();
+            let latest_finished = self.state.tiles[tile.index()].finished.last().copied();
+            match latest_finished {
+                Some(last_key) if candidate_key < last_key => {
+                    self.state.abort_task(last_key.1, tile);
+                    self.process_wakes();
+                    // The resource abort's cascade may have touched the
+                    // candidate itself (e.g. discarded it because its parent
+                    // aborted); restart the dispatch decision from scratch.
+                    if self.state.record(candidate).status != TaskStatus::Idle {
+                        return self.handle_try_dispatch(core);
+                    }
+                }
+                _ => {
+                    self.account_core_transition(core, CoreState::Stalled { since: self.now });
+                    return Ok(());
+                }
+            }
+        }
+
+        // Dispatch: remove from the idle queue and execute the body.
+        let key = self.state.record(candidate).key();
+        self.state.tiles[tile.index()].idle.remove(&key);
+        self.state.tiles[tile.index()].running.push(candidate);
+        self.account_core_transition(core, CoreState::Busy { task: candidate });
+
+        let outcome = self.execute_body(candidate, core);
+        self.executed_bodies += 1;
+        let finish_at = self.now + outcome.cycles.max(1);
+        {
+            let dispatched_at = self.now;
+            let rec = self.state.record_mut(candidate);
+            rec.exec_cycles = outcome.cycles.max(1);
+            rec.dispatched_at = dispatched_at;
+            rec.read_set = outcome.read_lines;
+            rec.write_set = outcome.write_lines;
+            rec.undo = outcome.undo;
+            rec.access_trace = outcome.trace;
+            rec.status = TaskStatus::Running { core, finish_at };
+        }
+        // If the body's own accesses triggered an abort of this very task
+        // (possible only through a parent abort cascade racing in the same
+        // event, which cannot happen, but keep the invariant explicit), the
+        // registration below would be stale; register unconditionally since
+        // aborted tasks are unregistered when settled.
+        self.state.register_access_sets(candidate);
+        self.pending_children.insert(candidate, outcome.children);
+        self.schedule(finish_at, Event::Finish(core));
+        self.process_wakes();
+        Ok(())
+    }
+
+    fn execute_body(&mut self, task: TaskId, core: CoreId) -> ExecutionOutcome {
+        let (fid, ts, args) = {
+            let rec = self.state.record(task);
+            (rec.desc.fid, rec.desc.ts, rec.desc.args.clone())
+        };
+        let mut ctx = TaskCtx::new(&mut self.state, task, core, ts);
+        self.app.run_task(fid, ts, &args, &mut ctx);
+        ctx.into_outcome()
+    }
+
+    // ------------------------------------------------------------------
+    // Finish
+    // ------------------------------------------------------------------
+
+    fn handle_finish(&mut self, core: CoreId) -> SimResult<()> {
+        let CoreState::Busy { task } = self.state.cores[core.index()] else {
+            return Ok(());
+        };
+        let tile = self.state.tile_of_core(core);
+        self.state.tiles[tile.index()].running.retain(|&t| t != task);
+
+        let aborted = self.state.record(task).aborted;
+        if aborted {
+            // The execution was doomed while in flight: drop the children it
+            // wanted to create and requeue (or discard) the task itself.
+            self.pending_children.remove(&task);
+            self.state.settle_aborted_running_task(task);
+        } else {
+            self.state.mark_finished(task);
+            // Children become visible to the system when their parent's
+            // execution completes.
+            let children = self.pending_children.remove(&task).unwrap_or_default();
+            for child in children {
+                self.enqueue_task(child.fid, child.ts, child.hint, child.args, Some(task))?;
+            }
+        }
+
+        self.state.cores[core.index()] = CoreState::Idle { since: self.now };
+        self.process_wakes();
+        self.handle_try_dispatch(core)
+    }
+
+    // ------------------------------------------------------------------
+    // Commits (GVT) and load balancing
+    // ------------------------------------------------------------------
+
+    fn handle_gvt(&mut self) {
+        self.gvt_updates += 1;
+        // Each tile exchanges a GVT update with the arbiter (tile 0).
+        let arbiter = TileId(0);
+        for t in 0..self.state.cfg.num_tiles() {
+            let hops = self.state.mesh.hops(TileId(t as u32), arbiter);
+            let flits = self.state.mesh.control_flits();
+            self.state.traffic.record(TrafficClass::Gvt, hops, 2 * flits);
+        }
+
+        let frontier = self.state.gvt();
+        // If the earliest unfinished task was spilled to memory, no commit
+        // can pass it and no dispatch will naturally refill it (its tile may
+        // have plenty of later idle tasks); pull it back in so the system
+        // keeps making forward progress.
+        if let Some((_, id)) = frontier {
+            if self.state.record(id).status == TaskStatus::Spilled {
+                self.state.unspill_task(id);
+            }
+        }
+        let mut to_commit: Vec<TaskId> = Vec::new();
+        for tile in 0..self.state.cfg.num_tiles() {
+            for &(ts, id) in self.state.tiles[tile].finished.iter() {
+                let before_frontier = match frontier {
+                    Some(f) => (ts, id) < f,
+                    None => true,
+                };
+                if before_frontier {
+                    to_commit.push(id);
+                }
+            }
+        }
+        // Commit in key order so parents commit before their children.
+        to_commit.sort_by_key(|&id| self.state.record(id).key());
+        for id in to_commit {
+            let (tile, bucket, cycles) = self.state.commit_task(id);
+            self.mapper.on_commit(tile, bucket, cycles);
+        }
+
+        // Relaxed commit of independent equal-timestamp tasks (unordered
+        // programs): finished tasks at the frontier timestamp whose parent
+        // has committed and whose data no earlier uncommitted task touches.
+        if self.state.cfg.spec.relaxed_equal_ts_commit {
+            if let Some((front_ts, _)) = self.state.gvt() {
+                let mut relaxed: Vec<TaskId> = Vec::new();
+                for tile in 0..self.state.cfg.num_tiles() {
+                    for &(ts, id) in self.state.tiles[tile].finished.iter() {
+                        if ts == front_ts && self.state.can_commit_relaxed(id) {
+                            relaxed.push(id);
+                        }
+                    }
+                }
+                relaxed.sort_by_key(|&id| self.state.record(id).key());
+                for id in relaxed {
+                    // Re-check: earlier relaxed commits may have changed the
+                    // line table, but only by *removing* earlier accessors,
+                    // which can only make more tasks eligible, never fewer.
+                    let (tile, bucket, cycles) = self.state.commit_task(id);
+                    self.mapper.on_commit(tile, bucket, cycles);
+                }
+            }
+        }
+
+        self.process_wakes();
+        if self.state.remaining_tasks > 0 {
+            self.schedule(self.now + self.state.cfg.spec.gvt_epoch, Event::Gvt);
+        }
+    }
+
+    fn handle_lb_epoch(&mut self) {
+        let idle = self.state.idle_per_tile();
+        if self.mapper.on_lb_epoch(self.now, &idle) {
+            self.lb_reconfigs += 1;
+        }
+        if self.state.remaining_tasks > 0 {
+            self.schedule(self.now + self.state.cfg.lb_epoch, Event::LbEpoch);
+        }
+    }
+}

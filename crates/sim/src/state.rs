@@ -1,0 +1,725 @@
+//! Mutable simulation state: tiles, cores, speculative task records, the
+//! line-access table used for conflict detection, and all statistics
+//! accumulators.
+//!
+//! The state object knows how to perform the *mechanisms* of the Swarm
+//! substrate — enqueue with spilling, conflict detection, abort cascades with
+//! rollback, commits — while the [`crate::engine::Engine`] drives *when* they
+//! happen (event ordering, dispatch policy, GVT epochs).
+
+use std::collections::{BTreeSet, HashMap};
+
+use swarm_mem::{AccessKind, CacheModel, HitLevel, SimMemory};
+use swarm_noc::{Mesh, TrafficClass, TrafficStats};
+use swarm_types::{Addr, CoreId, LineAddr, SystemConfig, TaskId, TileId};
+
+use crate::stats::{CommittedTaskAccesses, CycleBreakdown};
+use crate::task::{OrderKey, TaskDescriptor, TaskRecord, TaskStatus};
+
+/// What a core is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreState {
+    /// No dispatchable task was available.
+    Idle {
+        /// Cycle at which the core became idle.
+        since: u64,
+    },
+    /// Blocked because the tile's commit queue is full.
+    Stalled {
+        /// Cycle at which the core stalled.
+        since: u64,
+    },
+    /// Executing a task.
+    Busy {
+        /// The running task.
+        task: TaskId,
+    },
+}
+
+/// Per-tile task unit state: the task queue (idle + running + finished
+/// entries), the commit queue (finished entries), and the spill buffer.
+#[derive(Debug, Clone, Default)]
+pub struct TileState {
+    /// Dispatchable tasks, ordered by commit key.
+    pub idle: BTreeSet<OrderKey>,
+    /// Tasks currently running on this tile's cores.
+    pub running: Vec<TaskId>,
+    /// Finished tasks holding commit-queue entries, ordered by commit key.
+    pub finished: BTreeSet<OrderKey>,
+    /// Tasks spilled to memory by the coalescer, ordered by commit key.
+    pub spilled: BTreeSet<OrderKey>,
+}
+
+impl TileState {
+    /// Number of occupied task-queue entries.
+    pub fn task_queue_occupancy(&self) -> usize {
+        self.idle.len() + self.running.len() + self.finished.len()
+    }
+
+    /// Number of occupied (or reserved) commit-queue entries.
+    pub fn commit_queue_occupancy(&self) -> usize {
+        self.running.len() + self.finished.len()
+    }
+}
+
+/// Readers and writers currently registered for a cache line.
+#[derive(Debug, Clone, Default)]
+pub struct LineAccessors {
+    /// Uncommitted tasks that read the line.
+    pub readers: Vec<TaskId>,
+    /// Uncommitted tasks that wrote the line.
+    pub writers: Vec<TaskId>,
+}
+
+/// The complete mutable state of one simulation.
+#[derive(Debug)]
+pub struct SimState {
+    /// System configuration.
+    pub cfg: SystemConfig,
+    /// Simulated shared memory.
+    pub mem: SimMemory,
+    /// Cache hierarchy model.
+    pub caches: CacheModel,
+    /// Network model.
+    pub mesh: Mesh,
+    /// Traffic accounting.
+    pub traffic: TrafficStats,
+    /// Speculative access table: line -> uncommitted readers/writers.
+    pub line_table: HashMap<LineAddr, LineAccessors>,
+    /// All task records, indexed by `TaskId.0`.
+    pub records: Vec<TaskRecord>,
+    /// Per-tile task unit state.
+    pub tiles: Vec<TileState>,
+    /// Per-core state.
+    pub cores: Vec<CoreState>,
+    /// Keys of all *unfinished* tasks (idle, running or spilled); the GVT is
+    /// the minimum of this set. Finished-but-uncommitted tasks are not here.
+    pub unfinished: BTreeSet<OrderKey>,
+    /// Number of tasks that are neither committed nor discarded; the run
+    /// terminates when this reaches zero.
+    pub remaining_tasks: u64,
+    /// Aggregate cycle breakdown.
+    pub breakdown: CycleBreakdown,
+    /// Committed cycles per tile (load-balancing signal).
+    pub committed_cycles_per_tile: Vec<u64>,
+    /// Committed task count.
+    pub tasks_committed: u64,
+    /// Aborted execution count.
+    pub tasks_aborted: u64,
+    /// Spilled task count.
+    pub tasks_spilled: u64,
+    /// Conflict checks performed.
+    pub conflict_checks: u64,
+    /// Conflicts that only a Bloom false positive would have flagged.
+    pub bloom_false_positives: u64,
+    /// Whether to record per-task access traces for committed tasks.
+    pub profiling: bool,
+    /// Access traces of committed tasks (profiling only).
+    pub committed_accesses: Vec<CommittedTaskAccesses>,
+    /// Tiles that received new dispatchable work or freed commit slots since
+    /// the engine last drained this list.
+    pub wake_tiles: Vec<TileId>,
+}
+
+impl SimState {
+    /// Build the initial state for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`SystemConfig::validate`])
+    /// or if a tile's commit queue is not larger than its core count.
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        assert!(
+            cfg.commit_queue_per_tile() > cfg.cores_per_tile as usize,
+            "commit queue must be larger than the number of cores per tile"
+        );
+        let num_tiles = cfg.num_tiles();
+        let num_cores = cfg.num_cores();
+        SimState {
+            mem: SimMemory::new(),
+            caches: CacheModel::new(cfg.cache.clone(), num_tiles, cfg.cores_per_tile),
+            mesh: Mesh::new(cfg.tiles_x, cfg.tiles_y, cfg.noc.clone()),
+            traffic: TrafficStats::default(),
+            line_table: HashMap::new(),
+            records: Vec::new(),
+            tiles: vec![TileState::default(); num_tiles],
+            cores: vec![CoreState::Idle { since: 0 }; num_cores],
+            unfinished: BTreeSet::new(),
+            remaining_tasks: 0,
+            breakdown: CycleBreakdown::default(),
+            committed_cycles_per_tile: vec![0; num_tiles],
+            tasks_committed: 0,
+            tasks_aborted: 0,
+            tasks_spilled: 0,
+            conflict_checks: 0,
+            bloom_false_positives: 0,
+            profiling: false,
+            committed_accesses: Vec::new(),
+            wake_tiles: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The tile a core belongs to.
+    pub fn tile_of_core(&self, core: CoreId) -> TileId {
+        core.tile(self.cfg.cores_per_tile)
+    }
+
+    /// Cores belonging to `tile` (contiguous global core ids).
+    pub fn cores_of_tile(&self, tile: TileId) -> impl Iterator<Item = CoreId> {
+        let first = tile.index() as u32 * self.cfg.cores_per_tile;
+        (first..first + self.cfg.cores_per_tile).map(CoreId)
+    }
+
+    /// Immutable access to a task record.
+    pub fn record(&self, id: TaskId) -> &TaskRecord {
+        &self.records[id.0 as usize]
+    }
+
+    /// Mutable access to a task record.
+    pub fn record_mut(&mut self, id: TaskId) -> &mut TaskRecord {
+        &mut self.records[id.0 as usize]
+    }
+
+    /// Number of tasks that are neither committed nor discarded.
+    pub fn live_tasks(&self) -> usize {
+        self.remaining_tasks as usize
+    }
+
+    /// Mark a running task as finished: move it to the commit queue and drop
+    /// it from the unfinished (GVT) set.
+    pub fn mark_finished(&mut self, task: TaskId) {
+        let (tile, key) = {
+            let rec = self.record(task);
+            (rec.desc.tile, rec.key())
+        };
+        self.record_mut(task).status = TaskStatus::Finished;
+        self.tiles[tile.index()].finished.insert(key);
+        self.unfinished.remove(&key);
+    }
+
+    /// Number of idle (dispatchable) tasks per tile.
+    pub fn idle_per_tile(&self) -> Vec<usize> {
+        self.tiles.iter().map(|t| t.idle.len()).collect()
+    }
+
+    /// The global virtual time: the commit key of the earliest unfinished
+    /// task. `None` means every remaining task has finished executing, so
+    /// all of them may commit.
+    pub fn gvt(&self) -> Option<OrderKey> {
+        self.unfinished.first().copied()
+    }
+
+    fn note_wake(&mut self, tile: TileId) {
+        if !self.wake_tiles.contains(&tile) {
+            self.wake_tiles.push(tile);
+        }
+    }
+
+    /// Drain the list of tiles that may have new dispatchable work.
+    pub fn drain_wakes(&mut self) -> Vec<TileId> {
+        std::mem::take(&mut self.wake_tiles)
+    }
+
+    // ------------------------------------------------------------------
+    // Task creation, spilling and refilling
+    // ------------------------------------------------------------------
+
+    /// Register a new task and place it in its destination tile's task
+    /// queue, spilling older idle tasks if the queue is full. Returns the
+    /// new task's id.
+    pub fn add_task(&mut self, mut desc: TaskDescriptor) -> TaskId {
+        let id = TaskId(self.records.len() as u64);
+        desc.id = id;
+        let tile = desc.tile;
+        let key = (desc.ts, id);
+        let record = TaskRecord::new(desc);
+        self.records.push(record);
+        self.unfinished.insert(key);
+        self.remaining_tasks += 1;
+
+        if self.tiles[tile.index()].task_queue_occupancy() >= self.cfg.task_queue_per_tile() {
+            self.spill_from_tile(tile);
+        }
+        self.tiles[tile.index()].idle.insert(key);
+        self.record_mut(id).status = TaskStatus::Idle;
+        self.note_wake(tile);
+        id
+    }
+
+    /// Spill a batch of the latest-key idle tasks of `tile` to memory,
+    /// freeing task-queue entries (Section II-B "spills").
+    pub fn spill_from_tile(&mut self, tile: TileId) {
+        let batch = self.cfg.queues.spill_batch.max(1);
+        let mut spilled = 0;
+        while spilled < batch {
+            let Some(&key) = self.tiles[tile.index()].idle.last() else { break };
+            // Never spill the earliest idle task of the tile: the GVT may be
+            // waiting on it, and spilling it could deadlock the commit
+            // protocol.
+            if self.tiles[tile.index()].idle.len() <= 1 {
+                break;
+            }
+            self.tiles[tile.index()].idle.remove(&key);
+            self.tiles[tile.index()].spilled.insert(key);
+            self.record_mut(key.1).status = TaskStatus::Spilled;
+            spilled += 1;
+        }
+        if spilled > 0 {
+            self.tasks_spilled += spilled as u64;
+            self.breakdown.spill += spilled as u64 * self.cfg.queues.spill_cost_per_task;
+            let hops = self.mesh.hops(tile, TileId(0)).max(1);
+            self.traffic.record(TrafficClass::Memory, hops, self.mesh.line_flits() * spilled as u64);
+        }
+    }
+
+    /// Refill a batch of the earliest-key spilled tasks of `tile` back into
+    /// its task queue. Returns how many were refilled.
+    pub fn refill_tile(&mut self, tile: TileId) -> usize {
+        let batch = self.cfg.queues.spill_batch.max(1);
+        let cap = self.cfg.task_queue_per_tile();
+        let mut refilled = 0;
+        while refilled < batch {
+            if self.tiles[tile.index()].task_queue_occupancy() >= cap {
+                break;
+            }
+            let Some(&key) = self.tiles[tile.index()].spilled.first() else { break };
+            self.tiles[tile.index()].spilled.remove(&key);
+            self.tiles[tile.index()].idle.insert(key);
+            self.record_mut(key.1).status = TaskStatus::Idle;
+            refilled += 1;
+        }
+        if refilled > 0 {
+            self.breakdown.spill += refilled as u64 * self.cfg.queues.spill_cost_per_task;
+            let hops = self.mesh.hops(tile, TileId(0)).max(1);
+            let flits = self.mesh.line_flits();
+            self.traffic.record(TrafficClass::Memory, hops, flits * refilled as u64);
+            self.note_wake(tile);
+        }
+        refilled
+    }
+
+    /// Pull one specific spilled task back into its tile's task queue (used
+    /// by the commit protocol when the globally earliest unfinished task
+    /// sits in a spill buffer: it must become dispatchable or the GVT can
+    /// never advance past it).
+    pub fn unspill_task(&mut self, task: TaskId) {
+        let (tile, key) = {
+            let rec = self.record(task);
+            (rec.desc.tile, rec.key())
+        };
+        if self.record(task).status != TaskStatus::Spilled {
+            return;
+        }
+        self.tiles[tile.index()].spilled.remove(&key);
+        self.tiles[tile.index()].idle.insert(key);
+        self.record_mut(task).status = TaskStatus::Idle;
+        self.breakdown.spill += self.cfg.queues.spill_cost_per_task;
+        let hops = self.mesh.hops(tile, TileId(0)).max(1);
+        self.traffic.record(TrafficClass::Memory, hops, self.mesh.line_flits());
+        self.note_wake(tile);
+    }
+
+    /// Move the earliest idle task of `victim` to `thief` (idealized work
+    /// stealing: no latency, no traffic). Returns the stolen task, if any.
+    pub fn steal_task(&mut self, thief: TileId, victim: TileId) -> Option<TaskId> {
+        if thief == victim {
+            return None;
+        }
+        let &key = self.tiles[victim.index()].idle.first()?;
+        self.tiles[victim.index()].idle.remove(&key);
+        self.tiles[thief.index()].idle.insert(key);
+        self.record_mut(key.1).desc.tile = thief;
+        Some(key.1)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory accesses with eager conflict detection
+    // ------------------------------------------------------------------
+
+    /// Perform a speculative read of the word at `addr` on behalf of `task`
+    /// running on `core`. Returns `(value, latency_cycles)`.
+    pub fn speculative_read(&mut self, task: TaskId, core: CoreId, addr: Addr) -> (u64, u64) {
+        let latency = self.access_line(task, core, addr, AccessKind::Read);
+        (self.mem.load(addr), latency)
+    }
+
+    /// Perform a speculative write of `value` to `addr` on behalf of `task`.
+    /// Returns the latency in cycles. The previous value is recorded in the
+    /// task's undo log by the caller (the task context owns the log until
+    /// the execution is integrated).
+    pub fn speculative_write(
+        &mut self,
+        task: TaskId,
+        core: CoreId,
+        addr: Addr,
+        value: u64,
+    ) -> (swarm_mem::UndoEntry, u64) {
+        let latency = self.access_line(task, core, addr, AccessKind::Write);
+        let undo = self.mem.store_logged(addr, value);
+        (undo, latency)
+    }
+
+    /// Conflict-check and charge one line access; aborts conflicting
+    /// later-key tasks eagerly. Returns the access latency.
+    fn access_line(&mut self, task: TaskId, core: CoreId, addr: Addr, kind: AccessKind) -> u64 {
+        let line = LineAddr::containing(addr);
+        let my_key = self.record(task).key();
+        let tile = self.tile_of_core(core);
+
+        // Eager conflict detection: any uncommitted, later-key task that has
+        // accessed this line in a conflicting way must abort (its accesses
+        // would otherwise appear out of timestamp order).
+        let mut victims: Vec<TaskId> = Vec::new();
+        let mut check_cost = 0;
+        if let Some(acc) = self.line_table.get(&line) {
+            self.conflict_checks += 1;
+            let compared = (acc.readers.len() + acc.writers.len()) as u64;
+            check_cost = self.cfg.spec.conflict_check_cost
+                + compared * self.cfg.spec.conflict_compare_cost;
+            for &w in &acc.writers {
+                if w != task && self.record(w).key() > my_key {
+                    victims.push(w);
+                }
+            }
+            if kind == AccessKind::Write {
+                for &r in &acc.readers {
+                    if r != task && self.record(r).key() > my_key && !victims.contains(&r) {
+                        victims.push(r);
+                    }
+                }
+            }
+        }
+        for v in victims {
+            // The victim may already have been aborted transitively.
+            if !self.record(v).key_is_live_for_abort() {
+                continue;
+            }
+            self.abort_task(v, tile);
+        }
+
+        // Charge the cache/NoC cost of the access itself.
+        let outcome = self.caches.access(core, line, kind);
+        let mut latency = outcome.base_latency + check_cost;
+        let line_flits = self.mesh.line_flits();
+        match outcome.level {
+            HitLevel::L1 | HitLevel::L2 => {}
+            HitLevel::RemoteL2 { owner } => {
+                let home = self.caches.home_tile(line);
+                latency += 2 * self.mesh.latency(tile, owner) + self.mesh.latency(tile, home);
+                self.traffic.record(TrafficClass::Memory, self.mesh.hops(tile, owner), line_flits);
+                self.traffic.record(
+                    TrafficClass::Memory,
+                    self.mesh.hops(tile, home),
+                    self.mesh.control_flits(),
+                );
+            }
+            HitLevel::L3 { home } => {
+                latency += 2 * self.mesh.latency(tile, home);
+                self.traffic.record(TrafficClass::Memory, self.mesh.hops(tile, home), line_flits);
+            }
+            HitLevel::Memory { home } => {
+                latency += 2 * self.mesh.latency(tile, home);
+                self.traffic.record(
+                    TrafficClass::Memory,
+                    self.mesh.hops(tile, home) * 2 + 2,
+                    line_flits,
+                );
+            }
+        }
+        for inv in &outcome.invalidated {
+            self.traffic.record(
+                TrafficClass::Memory,
+                self.mesh.hops(tile, *inv),
+                self.mesh.control_flits(),
+            );
+        }
+        latency
+    }
+
+    /// Register a completed execution's read/write sets in the line table so
+    /// later accesses by other tasks can detect conflicts against it.
+    pub fn register_access_sets(&mut self, task: TaskId) {
+        let (reads, writes) = {
+            let rec = self.record(task);
+            (rec.read_set.clone(), rec.write_set.clone())
+        };
+        for line in reads {
+            let acc = self.line_table.entry(line).or_default();
+            if !acc.readers.contains(&task) {
+                acc.readers.push(task);
+            }
+        }
+        for line in writes {
+            let acc = self.line_table.entry(line).or_default();
+            if !acc.writers.contains(&task) {
+                acc.writers.push(task);
+            }
+        }
+    }
+
+    fn unregister_access_sets(&mut self, task: TaskId) {
+        let (reads, writes) = {
+            let rec = self.record(task);
+            (rec.read_set.clone(), rec.write_set.clone())
+        };
+        for line in reads.iter().chain(writes.iter()) {
+            if let Some(acc) = self.line_table.get_mut(line) {
+                acc.readers.retain(|&t| t != task);
+                acc.writers.retain(|&t| t != task);
+                if acc.readers.is_empty() && acc.writers.is_empty() {
+                    self.line_table.remove(line);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Aborts
+    // ------------------------------------------------------------------
+
+    /// Abort `victim` and everything that transitively depends on it: its
+    /// descendants (children will be re-created when the task re-runs) and
+    /// every uncommitted later-key task that read or wrote data `victim`
+    /// wrote (conservative data-dependence closure).
+    pub fn abort_task(&mut self, victim: TaskId, aborter_tile: TileId) {
+        // 1. Compute the abort set (closure over children and dependents).
+        let mut set: Vec<TaskId> = Vec::new();
+        let mut stack = vec![victim];
+        while let Some(t) = stack.pop() {
+            if set.contains(&t) {
+                continue;
+            }
+            let rec = self.record(t);
+            if rec.status.is_terminal() {
+                continue;
+            }
+            set.push(t);
+            // Children of the current execution.
+            for &c in &rec.children {
+                stack.push(c);
+            }
+            // Data-dependent tasks: later-key readers/writers of lines this
+            // task wrote.
+            let my_key = rec.key();
+            for line in rec.write_set.clone() {
+                if let Some(acc) = self.line_table.get(&line) {
+                    for &other in acc.readers.iter().chain(acc.writers.iter()) {
+                        if other != t && self.record(other).key() > my_key {
+                            stack.push(other);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Decide which members are discarded (their parent is also being
+        //    aborted, so the parent's re-execution will re-create them).
+        let discard: Vec<bool> = set
+            .iter()
+            .map(|&t| {
+                self.record(t)
+                    .desc
+                    .parent
+                    .map(|p| set.contains(&p))
+                    .unwrap_or(false)
+            })
+            .collect();
+
+        // 3. Roll back all undo entries of the set, newest store first.
+        let mut undo: Vec<swarm_mem::UndoEntry> = Vec::new();
+        for &t in &set {
+            undo.extend(self.record(t).undo.iter().copied());
+        }
+        let rollback_entries = undo.len() as u64;
+        self.mem.rollback_all(&mut undo);
+
+        // 4. Update per-task state.
+        for (i, &t) in set.iter().enumerate() {
+            self.unregister_access_sets(t);
+            let tile = self.record(t).desc.tile;
+            let status = self.record(t).status;
+            let key = self.record(t).key();
+            let already_aborted = self.record(t).aborted;
+            let executed = !already_aborted
+                && matches!(status, TaskStatus::Running { .. } | TaskStatus::Finished);
+            if executed {
+                let cycles = self.record(t).exec_cycles;
+                self.breakdown.aborted += cycles;
+                self.tasks_aborted += 1;
+                // Abort message to the victim's tile.
+                self.traffic.record(
+                    TrafficClass::Abort,
+                    self.mesh.hops(aborter_tile, tile),
+                    self.mesh.control_flits(),
+                );
+            }
+            match status {
+                TaskStatus::Idle => {
+                    self.tiles[tile.index()].idle.remove(&key);
+                }
+                TaskStatus::Spilled => {
+                    self.tiles[tile.index()].spilled.remove(&key);
+                }
+                TaskStatus::Finished => {
+                    self.tiles[tile.index()].finished.remove(&key);
+                    // A commit-queue slot was freed; stalled cores may now
+                    // dispatch.
+                    self.note_wake(tile);
+                }
+                TaskStatus::Running { .. } => {
+                    // The core keeps executing the doomed task until its
+                    // scheduled finish; the engine requeues or discards it
+                    // then. Mark it so. A discard decision is sticky: once a
+                    // parent abort dooms the task it must never be requeued.
+                    let rec = self.record_mut(t);
+                    rec.aborted = true;
+                    rec.pending_discard = rec.pending_discard || discard[i];
+                    rec.reset_speculation_only();
+                    continue;
+                }
+                TaskStatus::Committed | TaskStatus::Discarded => continue,
+            }
+            // Non-running members are reset immediately.
+            let rec = self.record_mut(t);
+            rec.reset_execution();
+            rec.abort_count += 1;
+            if discard[i] {
+                rec.status = TaskStatus::Discarded;
+                self.unfinished.remove(&key);
+                self.remaining_tasks -= 1;
+            } else {
+                rec.status = TaskStatus::Idle;
+                rec.aborted = false;
+                self.unfinished.insert(key);
+                self.tiles[tile.index()].idle.insert(key);
+                self.note_wake(tile);
+            }
+        }
+
+        // 5. Rollback memory traffic.
+        if rollback_entries > 0 {
+            self.traffic.record(TrafficClass::Abort, 1, rollback_entries * self.mesh.control_flits());
+        }
+    }
+
+    /// Requeue or discard a running task whose execution was aborted, once
+    /// its core finally releases it. Returns `true` if it was requeued.
+    pub fn settle_aborted_running_task(&mut self, task: TaskId) -> bool {
+        let (tile, key, discard) = {
+            let rec = self.record(task);
+            (rec.desc.tile, rec.key(), rec.pending_discard)
+        };
+        let rec = self.record_mut(task);
+        rec.reset_execution();
+        rec.abort_count += 1;
+        rec.aborted = false;
+        rec.pending_discard = false;
+        if discard {
+            rec.status = TaskStatus::Discarded;
+            self.unfinished.remove(&key);
+            self.remaining_tasks -= 1;
+            false
+        } else {
+            rec.status = TaskStatus::Idle;
+            self.unfinished.insert(key);
+            self.tiles[tile.index()].idle.insert(key);
+            self.note_wake(tile);
+            true
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commits
+    // ------------------------------------------------------------------
+
+    /// Commit a finished task: free its commit-queue entry, retire its
+    /// speculative state and account its cycles. Returns `(tile, bucket,
+    /// exec_cycles)` so the engine can inform the mapper.
+    pub fn commit_task(&mut self, task: TaskId) -> (TileId, Option<u16>, u64) {
+        let (tile, key, cycles, bucket) = {
+            let rec = self.record(task);
+            debug_assert_eq!(rec.status, TaskStatus::Finished, "only finished tasks commit");
+            (rec.desc.tile, rec.key(), rec.exec_cycles, rec.desc.bucket)
+        };
+        self.unregister_access_sets(task);
+        self.tiles[tile.index()].finished.remove(&key);
+        self.remaining_tasks -= 1;
+        self.breakdown.committed += cycles;
+        self.committed_cycles_per_tile[tile.index()] += cycles;
+        self.tasks_committed += 1;
+        if self.profiling {
+            let rec = self.record(task);
+            self.committed_accesses.push(CommittedTaskAccesses {
+                hint: rec.desc.hint,
+                num_args: rec.desc.args.len(),
+                accesses: rec.access_trace.clone(),
+            });
+        }
+        let rec = self.record_mut(task);
+        rec.status = TaskStatus::Committed;
+        // Free speculative state memory.
+        rec.undo.clear();
+        rec.undo.shrink_to_fit();
+        rec.access_trace.clear();
+        rec.access_trace.shrink_to_fit();
+        self.note_wake(tile);
+        (tile, bucket, cycles)
+    }
+
+    /// Whether `task` may commit ahead of earlier-created tasks with the same
+    /// timestamp: its parent must have committed and no uncommitted
+    /// earlier-key task may have touched its data in a conflicting way.
+    pub fn can_commit_relaxed(&self, task: TaskId) -> bool {
+        let rec = self.record(task);
+        if rec.status != TaskStatus::Finished {
+            return false;
+        }
+        if let Some(parent) = rec.desc.parent {
+            if self.record(parent).status != TaskStatus::Committed {
+                return false;
+            }
+        }
+        let my_key = rec.key();
+        // No earlier uncommitted writer of anything I read or wrote, and no
+        // earlier uncommitted reader of anything I wrote.
+        for line in rec.read_set.iter().chain(rec.write_set.iter()) {
+            if let Some(acc) = self.line_table.get(line) {
+                for &w in &acc.writers {
+                    if w != task && self.record(w).key() < my_key {
+                        return false;
+                    }
+                }
+            }
+        }
+        for line in &rec.write_set {
+            if let Some(acc) = self.line_table.get(line) {
+                for &r in &acc.readers {
+                    if r != task && self.record(r).key() < my_key {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl TaskRecord {
+    /// Whether an abort request against this task still makes sense.
+    pub(crate) fn key_is_live_for_abort(&self) -> bool {
+        !self.status.is_terminal() && !self.aborted
+    }
+
+    /// Roll back only the speculation bookkeeping of a running task (its
+    /// undo entries have already been applied by the cascade); keep the
+    /// descriptor and timing so the engine can settle it at finish time.
+    pub(crate) fn reset_speculation_only(&mut self) {
+        self.read_set.clear();
+        self.write_set.clear();
+        self.undo.clear();
+        self.children.clear();
+        self.access_trace.clear();
+    }
+}

@@ -1,0 +1,227 @@
+//! Task descriptors and per-task speculative state.
+
+use swarm_mem::UndoEntry;
+use swarm_types::{CoreId, Hint, LineAddr, TaskFnId, TaskId, TileId, Timestamp};
+
+/// The commit-order key of a task: tasks appear to execute in `(timestamp,
+/// creation id)` order. Children always have larger ids than their parents,
+/// so a parent always precedes its children in this order.
+pub type OrderKey = (Timestamp, TaskId);
+
+/// A task known to the hardware: the contents of a task-queue entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskDescriptor {
+    /// Unique, monotonically increasing id.
+    pub id: TaskId,
+    /// Task function to run.
+    pub fid: TaskFnId,
+    /// Program-order timestamp.
+    pub ts: Timestamp,
+    /// Spatial hint, with `SAMEHINT` already resolved against the parent.
+    pub hint: Hint,
+    /// 16-bit hashed hint used by the dispatch serialization logic.
+    pub hint_hash: Option<u16>,
+    /// Load-balancer bucket (only set when the active mapper uses buckets).
+    pub bucket: Option<u16>,
+    /// Task arguments (the paper passes up to three in registers; additional
+    /// ones spill to memory — we model the count, not the layout).
+    pub args: Vec<u64>,
+    /// Parent task, if any (initial tasks have none).
+    pub parent: Option<TaskId>,
+    /// Tile whose task unit currently holds this task.
+    pub tile: TileId,
+}
+
+impl TaskDescriptor {
+    /// The task's commit-order key.
+    pub fn key(&self) -> OrderKey {
+        (self.ts, self.id)
+    }
+}
+
+/// Where a task currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// In a tile's task queue, waiting to be dispatched.
+    Idle,
+    /// Executing (speculatively) on a core.
+    Running {
+        /// Core executing the task.
+        core: CoreId,
+        /// Cycle at which the execution completes.
+        finish_at: u64,
+    },
+    /// Finished execution; holds a commit-queue entry awaiting the GVT.
+    Finished,
+    /// Committed; architectural state is final.
+    Committed,
+    /// Spilled to memory by the coalescer; will be refilled later.
+    Spilled,
+    /// Removed entirely (its parent aborted, so it will be re-created by the
+    /// parent's re-execution, or the run ended).
+    Discarded,
+}
+
+impl TaskStatus {
+    /// Whether the task still occupies a task-queue entry in its tile.
+    pub fn holds_task_queue_entry(self) -> bool {
+        matches!(self, TaskStatus::Idle | TaskStatus::Running { .. } | TaskStatus::Finished)
+    }
+
+    /// Whether the task is finished with its current execution attempt.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, TaskStatus::Committed | TaskStatus::Discarded)
+    }
+}
+
+/// Full speculative state of a task tracked by the simulator.
+#[derive(Debug, Clone)]
+pub struct TaskRecord {
+    /// The task descriptor.
+    pub desc: TaskDescriptor,
+    /// Lifecycle status.
+    pub status: TaskStatus,
+    /// Whether the current (or just-completed) execution has been aborted
+    /// and must be re-run (or discarded if the parent aborted too).
+    pub aborted: bool,
+    /// For an aborted, still-running task: whether it should be discarded
+    /// (its parent also aborted) instead of requeued when its core frees.
+    pub pending_discard: bool,
+    /// Cache lines read by the current execution.
+    pub read_set: Vec<LineAddr>,
+    /// Cache lines written by the current execution.
+    pub write_set: Vec<LineAddr>,
+    /// Undo-log entries of the current execution (already applied to memory).
+    pub undo: Vec<UndoEntry>,
+    /// Children created by the current execution.
+    pub children: Vec<TaskId>,
+    /// Cycles consumed by the current execution.
+    pub exec_cycles: u64,
+    /// Cycle at which the current execution was dispatched.
+    pub dispatched_at: u64,
+    /// Number of times this task has been aborted so far.
+    pub abort_count: u32,
+    /// Word-granular accesses (addr, is_write) recorded when profiling is on.
+    pub access_trace: Vec<(u64, bool)>,
+}
+
+impl TaskRecord {
+    /// Create a fresh record for a newly enqueued task.
+    pub fn new(desc: TaskDescriptor) -> Self {
+        TaskRecord {
+            desc,
+            status: TaskStatus::Idle,
+            aborted: false,
+            pending_discard: false,
+            read_set: Vec::new(),
+            write_set: Vec::new(),
+            undo: Vec::new(),
+            children: Vec::new(),
+            exec_cycles: 0,
+            dispatched_at: 0,
+            abort_count: 0,
+            access_trace: Vec::new(),
+        }
+    }
+
+    /// The task's commit-order key.
+    pub fn key(&self) -> OrderKey {
+        self.desc.key()
+    }
+
+    /// Clear all speculative state accumulated by the current execution
+    /// (called after an abort, before the task is re-queued).
+    pub fn reset_execution(&mut self) {
+        self.read_set.clear();
+        self.write_set.clear();
+        self.undo.clear();
+        self.children.clear();
+        self.exec_cycles = 0;
+        self.access_trace.clear();
+    }
+}
+
+/// A task created by the application before the simulation starts
+/// (the `swarm::enqueue` calls made from `main`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InitialTask {
+    /// Task function.
+    pub fid: TaskFnId,
+    /// Timestamp.
+    pub ts: Timestamp,
+    /// Spatial hint.
+    pub hint: Hint,
+    /// Arguments.
+    pub args: Vec<u64>,
+}
+
+impl InitialTask {
+    /// Convenience constructor.
+    pub fn new(fid: TaskFnId, ts: Timestamp, hint: Hint, args: Vec<u64>) -> Self {
+        InitialTask { fid, ts, hint, args }
+    }
+}
+
+/// A child task requested by a running task body, before it has been
+/// assigned an id and a destination tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingChild {
+    /// Task function.
+    pub fid: TaskFnId,
+    /// Timestamp (must be >= the parent's).
+    pub ts: Timestamp,
+    /// Hint as given by the program (may be `SAMEHINT`).
+    pub hint: Hint,
+    /// Arguments.
+    pub args: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(id: u64, ts: Timestamp) -> TaskDescriptor {
+        TaskDescriptor {
+            id: TaskId(id),
+            fid: 0,
+            ts,
+            hint: Hint::None,
+            hint_hash: None,
+            bucket: None,
+            args: vec![],
+            parent: None,
+            tile: TileId(0),
+        }
+    }
+
+    #[test]
+    fn key_orders_by_timestamp_then_id() {
+        assert!(desc(5, 1).key() < desc(1, 2).key());
+        assert!(desc(1, 3).key() < desc(2, 3).key());
+    }
+
+    #[test]
+    fn status_queue_occupancy() {
+        assert!(TaskStatus::Idle.holds_task_queue_entry());
+        assert!(TaskStatus::Finished.holds_task_queue_entry());
+        assert!(!TaskStatus::Spilled.holds_task_queue_entry());
+        assert!(!TaskStatus::Committed.holds_task_queue_entry());
+        assert!(TaskStatus::Committed.is_terminal());
+        assert!(TaskStatus::Discarded.is_terminal());
+        assert!(!TaskStatus::Idle.is_terminal());
+    }
+
+    #[test]
+    fn reset_execution_clears_speculative_state() {
+        let mut rec = TaskRecord::new(desc(1, 1));
+        rec.read_set.push(LineAddr(1));
+        rec.write_set.push(LineAddr(2));
+        rec.children.push(TaskId(9));
+        rec.exec_cycles = 100;
+        rec.reset_execution();
+        assert!(rec.read_set.is_empty());
+        assert!(rec.write_set.is_empty());
+        assert!(rec.children.is_empty());
+        assert_eq!(rec.exec_cycles, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used by fallible simulator APIs.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors surfaced by the simulator and the application layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The system configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// An application registered or referenced an unknown task function.
+    UnknownTaskFn(u16),
+    /// A child task was enqueued with a timestamp lower than its parent's.
+    TimestampRegression {
+        /// Parent timestamp.
+        parent: u64,
+        /// Child timestamp (must be >= parent).
+        child: u64,
+    },
+    /// The simulation exceeded the configured safety limit on executed tasks,
+    /// which almost always indicates an application livelock.
+    TaskLimitExceeded(u64),
+    /// The final memory state did not match the serial reference.
+    ValidationFailed(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid system configuration: {msg}"),
+            SimError::UnknownTaskFn(id) => write!(f, "unknown task function id {id}"),
+            SimError::TimestampRegression { parent, child } => write!(
+                f,
+                "child task timestamp {child} is lower than parent timestamp {parent}"
+            ),
+            SimError::TaskLimitExceeded(n) => {
+                write!(f, "executed more than {n} tasks; likely livelock")
+            }
+            SimError::ValidationFailed(msg) => write!(f, "validation against serial reference failed: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty_lowercase() {
+        let errors = [
+            SimError::InvalidConfig("x".into()),
+            SimError::UnknownTaskFn(3),
+            SimError::TimestampRegression { parent: 5, child: 2 },
+            SimError::TaskLimitExceeded(10),
+            SimError::ValidationFailed("mismatch".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<SimError>();
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

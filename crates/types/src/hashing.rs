@@ -1,0 +1,151 @@
+//! Deterministic hash functions used throughout the simulator.
+//!
+//! The hardware described in the paper uses small fixed hash functions (H3
+//! hashes for Bloom filters, a 6-bit hash for hint-to-tile mapping, a 16-bit
+//! hash for same-hint serialization, and a 10-bit hash for hint-to-bucket
+//! mapping). We use a single 64-bit mixer (a SplitMix64 finalizer) and
+//! truncate it; it is deterministic, stateless, and well distributed, which
+//! is all the model needs.
+
+/// A 64-bit finalizer (SplitMix64 style). Deterministic across runs and
+/// platforms; never allocates.
+#[inline]
+pub fn hash64(value: u64) -> u64 {
+    let mut z = value.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash `value` into the range `[0, n)`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[inline]
+pub fn hash_to_range(value: u64, n: usize) -> usize {
+    assert!(n > 0, "hash range must be non-empty");
+    (hash64(value) % n as u64) as usize
+}
+
+/// The 16-bit hashed hint carried by task descriptors and used by the
+/// dispatch logic to serialize same-hint tasks (Section III-B).
+#[inline]
+pub fn hash_to_u16(value: u64) -> u16 {
+    (hash64(value) & 0xFFFF) as u16
+}
+
+/// Hash a hint into one of `num_buckets` load-balancer buckets
+/// (Section VI: 16 buckets per tile by default).
+///
+/// # Panics
+///
+/// Panics if `num_buckets` is zero.
+#[inline]
+pub fn hash_to_bucket(value: u64, num_buckets: usize) -> u16 {
+    assert!(num_buckets > 0, "bucket count must be non-empty");
+    assert!(num_buckets <= u16::MAX as usize + 1, "bucket count must fit in u16");
+    (hash64(value.rotate_left(17)) % num_buckets as u64) as u16
+}
+
+/// A family of independent hash functions, used by the Bloom filter model to
+/// emulate the H3 hash functions of LogTM-SE-style signatures.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    seeds: Vec<u64>,
+}
+
+impl HashFamily {
+    /// Create a family of `k` independent hash functions.
+    pub fn new(k: usize) -> Self {
+        let seeds = (0..k as u64)
+            .map(|i| hash64(0xDEAD_BEEF_u64.wrapping_add(i.wrapping_mul(0x1234_5678_9ABC_DEF1))))
+            .collect();
+        HashFamily { seeds }
+    }
+
+    /// Number of hash functions in the family.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Evaluate the `i`-th hash function on `value`, reduced modulo `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or `range` is zero.
+    #[inline]
+    pub fn hash(&self, i: usize, value: u64, range: usize) -> usize {
+        assert!(range > 0, "hash range must be non-empty");
+        (hash64(value ^ self.seeds[i]) % range as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash64_is_deterministic() {
+        assert_eq!(hash64(42), hash64(42));
+        assert_ne!(hash64(42), hash64(43));
+    }
+
+    #[test]
+    fn hash_to_range_stays_in_range() {
+        for v in 0..1000u64 {
+            let r = hash_to_range(v, 7);
+            assert!(r < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn hash_to_range_zero_panics() {
+        let _ = hash_to_range(1, 0);
+    }
+
+    #[test]
+    fn hash_to_range_spreads_values() {
+        // All 64 tiles should receive at least one of 10k consecutive hints.
+        let mut seen = HashSet::new();
+        for v in 0..10_000u64 {
+            seen.insert(hash_to_range(v, 64));
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn hash_to_bucket_spreads_values() {
+        let mut seen = HashSet::new();
+        for v in 0..50_000u64 {
+            seen.insert(hash_to_bucket(v, 1024));
+        }
+        // Nearly every bucket of 1024 should be hit by 50k hints.
+        assert!(seen.len() > 1000, "only {} buckets hit", seen.len());
+    }
+
+    #[test]
+    fn hash_family_functions_differ() {
+        let fam = HashFamily::new(8);
+        assert_eq!(fam.len(), 8);
+        assert!(!fam.is_empty());
+        let a: Vec<usize> = (0..8).map(|i| fam.hash(i, 12345, 2048)).collect();
+        let distinct: HashSet<_> = a.iter().collect();
+        assert!(distinct.len() > 1, "hash family produced identical outputs");
+    }
+
+    #[test]
+    fn hash_to_u16_differs_for_nearby_hints() {
+        let collisions = (0..1000u64)
+            .filter(|&v| hash_to_u16(v) == hash_to_u16(v + 1))
+            .count();
+        assert!(collisions < 5, "too many adjacent 16-bit collisions: {collisions}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Identifier newtypes for the simulated machine and for tasks.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Size of one cache line in bytes (the granularity of conflict detection
+/// and of the `cacheLine(ptr)` hint pattern used by the graph benchmarks).
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// Logical timestamp of a task. Swarm guarantees that tasks appear to run in
+/// timestamp order; equal timestamps are unordered (transactional) and the
+/// simulator breaks ties by creation order.
+pub type Timestamp = u64;
+
+/// Identifier of a task function registered by an application.
+pub type TaskFnId = u16;
+
+/// A byte address in the simulated shared memory.
+pub type Addr = u64;
+
+/// Globally unique identifier of a dynamic task instance.
+///
+/// Task ids are allocated monotonically by the simulator, so a child task
+/// always has a larger id than its parent. The pair `(Timestamp, TaskId)`
+/// forms the total commit order used by the GVT algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a tile (a group of cores sharing an L2 and a task unit).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TileId(pub u32);
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tile{}", self.0)
+    }
+}
+
+impl TileId {
+    /// Index of this tile as a `usize`, for indexing per-tile vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a core, expressed as a global index across all tiles.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(pub u32);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl CoreId {
+    /// Index of this core as a `usize`, for indexing per-core vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The tile this core belongs to, given the number of cores per tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_per_tile` is zero.
+    pub fn tile(self, cores_per_tile: u32) -> TileId {
+        assert!(cores_per_tile > 0, "cores_per_tile must be positive");
+        TileId(self.0 / cores_per_tile)
+    }
+}
+
+/// A cache-line address: a byte address with the low `log2(CACHE_LINE_BYTES)`
+/// bits dropped. Conflict detection and the cache model operate on lines.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The line containing byte address `addr`.
+    pub fn containing(addr: Addr) -> Self {
+        LineAddr(addr / CACHE_LINE_BYTES)
+    }
+
+    /// The first byte address of this line.
+    pub fn base_addr(self) -> Addr {
+        self.0 * CACHE_LINE_BYTES
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl From<Addr> for LineAddr {
+    fn from(addr: Addr) -> Self {
+        LineAddr::containing(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_containing_groups_by_64_bytes() {
+        assert_eq!(LineAddr::containing(0), LineAddr(0));
+        assert_eq!(LineAddr::containing(63), LineAddr(0));
+        assert_eq!(LineAddr::containing(64), LineAddr(1));
+        assert_eq!(LineAddr::containing(128), LineAddr(2));
+    }
+
+    #[test]
+    fn line_addr_base_addr_round_trips() {
+        let line = LineAddr::containing(1000);
+        assert!(line.base_addr() <= 1000);
+        assert!(1000 < line.base_addr() + CACHE_LINE_BYTES);
+    }
+
+    #[test]
+    fn core_to_tile_mapping() {
+        assert_eq!(CoreId(0).tile(4), TileId(0));
+        assert_eq!(CoreId(3).tile(4), TileId(0));
+        assert_eq!(CoreId(4).tile(4), TileId(1));
+        assert_eq!(CoreId(15).tile(4), TileId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cores_per_tile must be positive")]
+    fn core_to_tile_zero_cores_panics() {
+        let _ = CoreId(0).tile(0);
+    }
+
+    #[test]
+    fn task_ids_order_by_value() {
+        assert!(TaskId(1) < TaskId(2));
+        assert_eq!(format!("{}", TaskId(7)), "T7");
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert!(!format!("{}", TileId(3)).is_empty());
+        assert!(!format!("{}", CoreId(3)).is_empty());
+        assert!(!format!("{}", LineAddr(3)).is_empty());
+    }
+
+    #[test]
+    fn line_addr_from_addr() {
+        let l: LineAddr = 130u64.into();
+        assert_eq!(l, LineAddr(2));
+    }
+}

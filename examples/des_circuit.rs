@@ -1,0 +1,44 @@
+//! Discrete event simulation of a digital circuit (the paper's Listing 1
+//! example and motivating benchmark), showing how spatial hints plus the
+//! data-centric load balancer recover the scalability Random scheduling
+//! loses.
+//!
+//! Run with: `cargo run --release --example des_circuit`
+
+use swarm_repro::apps::des::{Circuit, Des};
+use swarm_repro::prelude::*;
+
+fn run(circuit: Circuit, scheduler: Scheduler, cores: u32) -> RunStats {
+    let cfg = SystemConfig::with_cores(cores);
+    let mut engine = Engine::new(cfg.clone(), Box::new(Des::new(circuit)), scheduler.build(&cfg));
+    engine.run().expect("des must match the serial event-driven simulation")
+}
+
+fn main() {
+    let circuit = Circuit::layered(12, 8, 6, 42);
+    println!(
+        "des: {} gates, {} external toggles\n",
+        circuit.gates.len(),
+        circuit.waveforms.len()
+    );
+    println!("{:>10}{:>8}{:>12}{:>10}{:>10}{:>12}", "scheduler", "cores", "cycles", "commits", "aborts", "speedup");
+    let baseline = run(circuit.clone(), Scheduler::Random, 1);
+    println!(
+        "{:>10}{:>8}{:>12}{:>10}{:>10}{:>12.2}",
+        "Random", 1, baseline.runtime_cycles, baseline.tasks_committed, baseline.tasks_aborted, 1.0
+    );
+    for scheduler in [Scheduler::Random, Scheduler::Stealing, Scheduler::Hints, Scheduler::LbHints] {
+        for cores in [16u32, 64] {
+            let stats = run(circuit.clone(), scheduler, cores);
+            println!(
+                "{:>10}{:>8}{:>12}{:>10}{:>10}{:>12.2}",
+                scheduler.name(),
+                cores,
+                stats.runtime_cycles,
+                stats.tasks_committed,
+                stats.tasks_aborted,
+                stats.speedup_over(&baseline)
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Shortest paths on a synthetic road map: the paper's flagship graph
+//! workload, comparing coarse- vs fine-grain tasks under every scheduler.
+//!
+//! Run with: `cargo run --release --example sssp_roadmap`
+
+use swarm_repro::apps::sssp::Sssp;
+use swarm_repro::apps::Graph;
+use swarm_repro::prelude::*;
+
+fn run(app: Box<dyn SwarmApp>, scheduler: Scheduler, cores: u32) -> RunStats {
+    let cfg = SystemConfig::with_cores(cores);
+    let mut engine = Engine::new(cfg.clone(), app, scheduler.build(&cfg));
+    engine.run().expect("sssp must match Dijkstra")
+}
+
+fn main() {
+    let cores = 16;
+    println!("sssp on a 24x24 road grid, {cores} cores\n");
+    println!(
+        "{:<10}{:>12}{:>12}{:>12}{:>12}",
+        "variant", "scheduler", "cycles", "commits", "aborts"
+    );
+    for fine in [false, true] {
+        for scheduler in [Scheduler::Random, Scheduler::Stealing, Scheduler::Hints, Scheduler::LbHints] {
+            let graph = Graph::road_grid(24, 24, 7);
+            let app: Box<dyn SwarmApp> = if fine {
+                Box::new(Sssp::fine(graph, 0))
+            } else {
+                Box::new(Sssp::coarse(graph, 0))
+            };
+            let stats = run(app, scheduler, cores);
+            println!(
+                "{:<10}{:>12}{:>12}{:>12}{:>12}",
+                if fine { "fine" } else { "coarse" },
+                scheduler.name(),
+                stats.runtime_cycles,
+                stats.tasks_committed,
+                stats.tasks_aborted
+            );
+        }
+    }
+    println!("\nEvery run validated its distances against a serial Dijkstra execution.");
+}

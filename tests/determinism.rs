@@ -1,0 +1,55 @@
+//! Determinism and reproducibility: the whole point of a simulator-based
+//! evaluation is that every number in EXPERIMENTS.md can be regenerated
+//! exactly. These tests run identical configurations twice and demand
+//! bit-identical statistics, and check that changing only the seed changes
+//! the workload but not its validity.
+
+use swarm_repro::prelude::*;
+
+fn run(spec: AppSpec, scheduler: Scheduler, cores: u32, seed: u64) -> RunStats {
+    let cfg = SystemConfig::with_cores(cores);
+    let app = spec.build(InputScale::Tiny, seed);
+    let mut engine = Engine::new(cfg.clone(), app, scheduler.build(&cfg));
+    engine.run().expect("run must validate")
+}
+
+#[test]
+fn identical_configurations_produce_identical_statistics() {
+    for scheduler in [Scheduler::Random, Scheduler::Hints, Scheduler::LbHints] {
+        let a = run(AppSpec::coarse(BenchmarkId::Des), scheduler, 16, 3);
+        let b = run(AppSpec::coarse(BenchmarkId::Des), scheduler, 16, 3);
+        assert_eq!(a.runtime_cycles, b.runtime_cycles, "{scheduler} is nondeterministic");
+        assert_eq!(a.tasks_committed, b.tasks_committed);
+        assert_eq!(a.tasks_aborted, b.tasks_aborted);
+        assert_eq!(a.breakdown, b.breakdown);
+        assert_eq!(a.traffic, b.traffic);
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_but_valid_workloads() {
+    let a = run(AppSpec::coarse(BenchmarkId::Silo), Scheduler::Hints, 16, 1);
+    let b = run(AppSpec::coarse(BenchmarkId::Silo), Scheduler::Hints, 16, 2);
+    // Both validated inside run(); the workloads should genuinely differ.
+    assert_ne!(
+        (a.runtime_cycles, a.tasks_committed),
+        (b.runtime_cycles, b.tasks_committed),
+        "changing the seed should change the generated transaction mix"
+    );
+}
+
+#[test]
+fn scheduler_choice_does_not_change_application_results_only_performance() {
+    // Same seed, different schedulers: committed work identical, performance
+    // different. (Result equality is enforced by per-app validation inside
+    // the engine; here we check the performance side actually varies, i.e.
+    // the schedulers are not accidentally aliases of each other.)
+    let random = run(AppSpec::coarse(BenchmarkId::Nocsim), Scheduler::Random, 16, 5);
+    let hints = run(AppSpec::coarse(BenchmarkId::Nocsim), Scheduler::Hints, 16, 5);
+    assert_eq!(random.tasks_committed, hints.tasks_committed);
+    assert_ne!(
+        (random.runtime_cycles, random.traffic.total()),
+        (hints.runtime_cycles, hints.traffic.total()),
+        "Random and Hints produced identical timing, which is vanishingly unlikely"
+    );
+}

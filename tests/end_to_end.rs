@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: every benchmark, every scheduler, one
+//! engine — each run is validated against its serial reference inside
+//! `Engine::run`, so these tests primarily assert that the full pipeline
+//! (workload generation → scheduling → speculation → commit → validation)
+//! holds together, and that the headline *shapes* of the paper hold at a
+//! scale a laptop can simulate.
+
+use swarm_repro::prelude::*;
+
+fn run(spec: AppSpec, scheduler: Scheduler, cores: u32) -> RunStats {
+    let cfg = SystemConfig::with_cores(cores);
+    let app = spec.build(InputScale::Tiny, 99);
+    let mut engine = Engine::new(cfg.clone(), app, scheduler.build(&cfg));
+    engine
+        .run()
+        .unwrap_or_else(|e| panic!("{} under {scheduler} at {cores} cores failed: {e}", spec.name()))
+}
+
+#[test]
+fn every_benchmark_validates_under_every_scheduler_at_16_cores() {
+    for bench in BenchmarkId::ALL {
+        for scheduler in Scheduler::ALL {
+            let stats = run(AppSpec::coarse(bench), scheduler, 16);
+            assert!(stats.tasks_committed > 0, "{bench} committed nothing under {scheduler}");
+        }
+    }
+}
+
+#[test]
+fn fine_grain_variants_validate_under_hints_and_lbhints() {
+    for bench in BenchmarkId::WITH_FINE_GRAIN {
+        for scheduler in [Scheduler::Hints, Scheduler::LbHints] {
+            let stats = run(AppSpec::fine(bench), scheduler, 16);
+            assert!(stats.tasks_committed > 0);
+        }
+    }
+}
+
+#[test]
+fn single_core_runs_never_abort_or_move_data_for_ordered_apps() {
+    // On one core the earliest task is always the one running, so ordered
+    // programs execute without misspeculation; this checks the substrate
+    // does not manufacture spurious conflicts.
+    for bench in [BenchmarkId::Sssp, BenchmarkId::Des, BenchmarkId::Color] {
+        let stats = run(AppSpec::coarse(bench), Scheduler::Random, 1);
+        assert_eq!(stats.tasks_aborted, 0, "{bench} aborted on a single core");
+    }
+}
+
+#[test]
+fn committed_task_counts_are_scheduler_independent() {
+    // The amount of useful work is a property of the program, not of the
+    // scheduler: commits must match across schedulers (aborted executions
+    // and spills may differ).
+    for bench in [BenchmarkId::Des, BenchmarkId::Nocsim, BenchmarkId::Silo] {
+        let counts: Vec<u64> = Scheduler::ALL
+            .iter()
+            .map(|&s| run(AppSpec::coarse(bench), s, 16).tasks_committed)
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "{bench} committed task counts differ across schedulers: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn hints_reduce_aborts_and_traffic_on_the_object_partitioned_apps() {
+    // The paper's headline efficiency claim (Section IV-C): on des, nocsim
+    // and silo, where most read-write data is single-hint, Hints wastes far
+    // less work and moves far less data than Random.
+    for bench in [BenchmarkId::Des, BenchmarkId::Nocsim] {
+        let random = run(AppSpec::coarse(bench), Scheduler::Random, 16);
+        let hints = run(AppSpec::coarse(bench), Scheduler::Hints, 16);
+        assert!(
+            hints.tasks_aborted <= random.tasks_aborted,
+            "{bench}: hints aborted more ({}) than random ({})",
+            hints.tasks_aborted,
+            random.tasks_aborted
+        );
+        assert!(
+            hints.traffic.total() < random.traffic.total(),
+            "{bench}: hints moved more data ({}) than random ({})",
+            hints.traffic.total(),
+            random.traffic.total()
+        );
+    }
+}
+
+#[test]
+fn load_balancer_reduces_committed_cycle_imbalance_on_nocsim() {
+    // Section VI: tornado traffic overloads central columns; LBHints remaps
+    // router buckets so per-tile committed cycles even out relative to
+    // static Hints. Use a workload long enough for several reconfiguration
+    // epochs.
+    use swarm_repro::apps::nocsim::{NocWorkload, Nocsim};
+    let run_with = |scheduler: Scheduler| {
+        let mut cfg = SystemConfig::with_cores(16);
+        cfg.lb_epoch = 2_000;
+        let workload = NocWorkload::tornado(8, 12, 17);
+        let mut engine =
+            Engine::new(cfg.clone(), Box::new(Nocsim::new(workload)), scheduler.build(&cfg));
+        engine.run().expect("nocsim must validate")
+    };
+    let hints = run_with(Scheduler::Hints);
+    let lb = run_with(Scheduler::LbHints);
+    assert!(lb.lb_reconfigs > 0, "the load balancer never reconfigured");
+    assert!(
+        lb.load_imbalance() <= hints.load_imbalance() * 1.25,
+        "LBHints imbalance ({:.3}) much worse than Hints ({:.3})",
+        lb.load_imbalance(),
+        hints.load_imbalance()
+    );
+}
+
+#[test]
+fn cycle_breakdowns_cover_the_machine_time() {
+    let stats = run(AppSpec::coarse(BenchmarkId::Silo), Scheduler::Hints, 16);
+    let wall = stats.runtime_cycles * stats.cores as u64;
+    let accounted = stats.breakdown.total();
+    assert!(accounted > 0);
+    // The breakdown may exceed the wall-clock budget slightly because spill
+    // cycles are charged on top of core time, but it must stay in the same
+    // ballpark and the busy part must fit inside the wall clock.
+    assert!(stats.breakdown.committed + stats.breakdown.aborted <= wall);
+    assert!(accounted <= wall + stats.breakdown.spill + stats.runtime_cycles);
+}
+
+#[test]
+fn access_classification_explains_hint_effectiveness() {
+    // Fig. 3 / Fig. 6 shape: des is dominated by single-hint read-write
+    // accesses; coarse-grain sssp has mostly multi-hint read-write accesses,
+    // and its fine-grain version flips that.
+    let classify = |spec: AppSpec| {
+        let cfg = SystemConfig::with_cores(4);
+        let app = spec.build(InputScale::Tiny, 7);
+        let mut engine = Engine::new(cfg.clone(), app, Scheduler::Hints.build(&cfg));
+        engine.enable_profiling();
+        let stats = engine.run().unwrap();
+        classify_accesses(&stats.committed_accesses, ClassifierConfig::default())
+    };
+    let des = classify(AppSpec::coarse(BenchmarkId::Des));
+    assert!(des.single_hint_rw_share() > 0.9, "des read-write data should be single-hint");
+
+    let sssp_cg = classify(AppSpec::coarse(BenchmarkId::Sssp));
+    let sssp_fg = classify(AppSpec::fine(BenchmarkId::Sssp));
+    assert!(
+        sssp_fg.single_hint_rw_share() > sssp_cg.single_hint_rw_share(),
+        "fine-grain sssp must raise the single-hint share ({:.2} vs {:.2})",
+        sssp_fg.single_hint_rw_share(),
+        sssp_cg.single_hint_rw_share()
+    );
+    assert!(sssp_fg.single_hint_rw_share() > 0.9);
+}

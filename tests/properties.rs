@@ -1,0 +1,158 @@
+//! Property-based tests on the core invariants of the speculative substrate
+//! and the spatial-hints mechanisms, using randomly generated task graphs
+//! and load distributions.
+
+use proptest::prelude::*;
+
+use swarm_repro::hints::TileMap;
+use swarm_repro::mem::{LruSet, SimMemory};
+use swarm_repro::prelude::*;
+use swarm_repro::sim::InitialTask;
+use swarm_types::TileId;
+
+/// A randomly generated "ledger" program: a set of add operations over a
+/// small number of cells, with random timestamps and hints. Whatever the
+/// schedule, the committed state must equal the serial (timestamp-ordered)
+/// sum per cell.
+#[derive(Debug, Clone)]
+struct Ledger {
+    ops: Vec<(u64, u64, u64)>, // (timestamp, cell, amount)
+    cells: u64,
+}
+
+const LEDGER_BASE: u64 = 0x40_000;
+
+impl SwarmApp for Ledger {
+    fn name(&self) -> &str {
+        "prop-ledger"
+    }
+    fn initial_tasks(&self) -> Vec<InitialTask> {
+        self.ops
+            .iter()
+            .map(|&(ts, cell, amount)| {
+                InitialTask::new(0, ts, Hint::value(cell), vec![cell, amount])
+            })
+            .collect()
+    }
+    fn run_task(&self, _fid: u16, _ts: u64, args: &[u64], ctx: &mut TaskCtx<'_>) {
+        let cell = args[0];
+        let amount = args[1];
+        let addr = LEDGER_BASE + cell * 64;
+        let value = ctx.read(addr);
+        ctx.write(addr, value + amount);
+    }
+    fn validate(&self, mem: &SimMemory) -> Result<(), String> {
+        for cell in 0..self.cells {
+            let expected: u64 =
+                self.ops.iter().filter(|&&(_, c, _)| c == cell).map(|&(_, _, a)| a).sum();
+            let got = mem.load(LEDGER_BASE + cell * 64);
+            if got != expected {
+                return Err(format!("cell {cell}: got {got}, expected {expected}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn ledger_strategy() -> impl Strategy<Value = Ledger> {
+    (2u64..6, 1usize..60).prop_flat_map(|(cells, n_ops)| {
+        proptest::collection::vec((0u64..20, 0..cells, 1u64..100), n_ops)
+            .prop_map(move |ops| Ledger { ops, cells })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serializability: any random conflicting program commits a state equal
+    /// to its serial timestamp-order execution, under every scheduler.
+    #[test]
+    fn random_ledgers_are_serializable(ledger in ledger_strategy(), scheduler_idx in 0usize..4) {
+        let scheduler = Scheduler::ALL[scheduler_idx];
+        let cfg = SystemConfig::small();
+        let mut engine = Engine::new(cfg.clone(), Box::new(ledger.clone()), scheduler.build(&cfg));
+        let stats = engine.run().expect("ledger must serialize");
+        prop_assert_eq!(stats.tasks_committed as usize, ledger.ops.len());
+    }
+
+    /// The undo log restores memory exactly for arbitrary write sequences.
+    #[test]
+    fn rollback_restores_arbitrary_write_sequences(
+        initial in proptest::collection::vec((0u64..64, 0u64..1000), 0..32),
+        speculative in proptest::collection::vec((0u64..64, 0u64..1000), 1..32),
+    ) {
+        let mut mem = SimMemory::new();
+        for &(addr, value) in &initial {
+            mem.store(addr * 8, value);
+        }
+        let snapshot: Vec<(u64, u64)> = (0..64).map(|a| (a * 8, mem.load(a * 8))).collect();
+        let mut undo = Vec::new();
+        for &(addr, value) in &speculative {
+            undo.push(mem.store_logged(addr * 8, value));
+        }
+        mem.rollback_all(&mut undo);
+        for (addr, value) in snapshot {
+            prop_assert_eq!(mem.load(addr), value);
+        }
+    }
+
+    /// The LRU set never exceeds its capacity and always contains the most
+    /// recently inserted key.
+    #[test]
+    fn lru_set_respects_capacity(
+        capacity in 1usize..32,
+        keys in proptest::collection::vec(0u64..100, 1..200),
+    ) {
+        let mut lru = LruSet::new(capacity);
+        for &k in &keys {
+            lru.insert(k);
+            prop_assert!(lru.len() <= capacity);
+            prop_assert!(lru.contains(k));
+        }
+    }
+
+    /// Rebalancing the tile map never loses or duplicates buckets and never
+    /// increases the load spread (max - min weighted tile load).
+    #[test]
+    fn tile_map_rebalance_preserves_buckets_and_reduces_spread(
+        weights in proptest::collection::vec(0u64..10_000, 64),
+        correction in 1u8..=100,
+    ) {
+        let num_tiles = 8;
+        let mut map = TileMap::new(64, num_tiles);
+        let load = |map: &TileMap| -> Vec<u64> {
+            (0..num_tiles).map(|t| {
+                map.buckets_of(TileId(t as u32)).iter().map(|&b| weights[b as usize]).sum()
+            }).collect()
+        };
+        let before = load(&map);
+        let spread_before = before.iter().max().unwrap() - before.iter().min().unwrap();
+        map.rebalance(&weights, correction);
+        // Every bucket still maps to exactly one valid tile.
+        let mut seen = 0usize;
+        for t in 0..num_tiles {
+            seen += map.buckets_of(TileId(t as u32)).len();
+        }
+        prop_assert_eq!(seen, 64);
+        let after = load(&map);
+        let spread_after = after.iter().max().unwrap() - after.iter().min().unwrap();
+        prop_assert!(spread_after <= spread_before,
+            "rebalance made the spread worse: {} -> {}", spread_before, spread_after);
+    }
+
+    /// Hints map deterministically: the same hint always reaches the same
+    /// tile and bucket, and every tile is reachable.
+    #[test]
+    fn hint_mapping_is_deterministic_and_covers_tiles(hints in proptest::collection::vec(any::<u64>(), 1..500)) {
+        let cfg = SystemConfig::small();
+        let mut a = Scheduler::Hints.build(&cfg);
+        let mut b = Scheduler::Hints.build(&cfg);
+        for &h in &hints {
+            let hint = Hint::value(h);
+            prop_assert_eq!(
+                a.map_task(hint, None, cfg.num_tiles()),
+                b.map_task(hint, None, cfg.num_tiles())
+            );
+        }
+    }
+}
