@@ -82,7 +82,11 @@ impl Color {
     }
 
     fn hint_for(&self, v: u32) -> Hint {
-        Hint::cache_line(if self.fine_grain { self.state.addr_of(v as u64) } else { self.color_addr(v) })
+        Hint::cache_line(if self.fine_grain {
+            self.state.addr_of(v as u64)
+        } else {
+            self.color_addr(v)
+        })
     }
 
     fn rank(&self, v: u32) -> u64 {

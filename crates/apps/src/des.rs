@@ -152,9 +152,7 @@ impl Circuit {
     /// Timestamp of the `emission`-th output toggle of `src_gate` arriving
     /// at `time`.
     pub fn event_ts(&self, time: u64, src_gate: u32, emission: u64) -> u64 {
-        time * self.ts_scale()
-            + src_gate as u64 * Self::EMIT_SLOTS
-            + (emission % Self::EMIT_SLOTS)
+        time * self.ts_scale() + src_gate as u64 * Self::EMIT_SLOTS + (emission % Self::EMIT_SLOTS)
     }
 
     /// The simulated time encoded in a timestamp.

@@ -231,12 +231,7 @@ impl SwarmApp for Genome {
                         if follower != 0 && follower != seg_id as u64 + 1 {
                             // Record the link from a SAMEHINT child so it
                             // runs wherever this (NOHINT) task was placed.
-                            ctx.enqueue(
-                                FID_LINK,
-                                ts,
-                                Hint::Same,
-                                vec![seg_id as u64, follower],
-                            );
+                            ctx.enqueue(FID_LINK, ts, Hint::Same, vec![seg_id as u64, follower]);
                         }
                         return;
                     }
@@ -308,10 +303,7 @@ mod tests {
         assert!(w.segments.len() > 120);
         assert!(w.unique_segments() < w.segments.len());
         // Consecutive cuts genuinely overlap.
-        assert_eq!(
-            w.suffix_fingerprint(&w.segments[0]),
-            w.prefix_fingerprint(&w.segments[1])
-        );
+        assert_eq!(w.suffix_fingerprint(&w.segments[0]), w.prefix_fingerprint(&w.segments[1]));
     }
 
     #[test]

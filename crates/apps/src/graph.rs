@@ -31,7 +31,11 @@ pub struct Graph {
 
 impl Graph {
     /// Build a graph from an edge list. Duplicate edges are kept.
-    pub fn from_edges(num_vertices: usize, edges: &[(u32, u32, u32)], coords: Vec<(i64, i64)>) -> Self {
+    pub fn from_edges(
+        num_vertices: usize,
+        edges: &[(u32, u32, u32)],
+        coords: Vec<(i64, i64)>,
+    ) -> Self {
         assert_eq!(coords.len(), num_vertices, "one coordinate per vertex");
         let mut degree = vec![0usize; num_vertices];
         for &(src, _, _) in edges {
@@ -119,8 +123,7 @@ impl Graph {
                 push_undirected(&mut edges, a, b, dist.max(1));
             }
         }
-        let coords =
-            (0..n).map(|v| ((v % width) as i64, (v / width) as i64)).collect::<Vec<_>>();
+        let coords = (0..n).map(|v| ((v % width) as i64, (v / width) as i64)).collect::<Vec<_>>();
         Graph::from_edges(n, &edges, coords)
     }
 

@@ -279,13 +279,8 @@ impl AppSpec {
                 Box::new(silo::Silo::new(w))
             }
             (BenchmarkId::Genome, _) => {
-                let w = genome::GenomeWorkload::generate(
-                    512 * f,
-                    16,
-                    6,
-                    150 * f,
-                    seed.wrapping_add(7),
-                );
+                let w =
+                    genome::GenomeWorkload::generate(512 * f, 16, 6, 150 * f, seed.wrapping_add(7));
                 Box::new(genome::Genome::new(w))
             }
             (BenchmarkId::Kmeans, _) => {
@@ -314,8 +309,7 @@ mod tests {
 
     #[test]
     fn ordered_and_unordered_split_matches_paper() {
-        let unordered: Vec<_> =
-            BenchmarkId::ALL.into_iter().filter(|b| !b.is_ordered()).collect();
+        let unordered: Vec<_> = BenchmarkId::ALL.into_iter().filter(|b| !b.is_ordered()).collect();
         assert_eq!(unordered, vec![BenchmarkId::Genome, BenchmarkId::Kmeans]);
     }
 
@@ -323,7 +317,7 @@ mod tests {
     fn every_benchmark_builds_at_tiny_scale() {
         for b in BenchmarkId::ALL {
             let app = AppSpec::coarse(b).build(InputScale::Tiny, 42);
-            assert_eq!(app.name().contains("-fg"), false);
+            assert!(!app.name().contains("-fg"));
             assert!(app.num_task_fns() >= 1);
             assert!(!app.initial_tasks().is_empty(), "{b} has no initial tasks");
         }

@@ -219,9 +219,8 @@ mod tests {
         let w = NocWorkload::tornado(8, 4, 2);
         let counts = w.reference_counts();
         // Column 4 routers forward more than column 0/7 routers on average.
-        let col_load = |col: u32| -> u64 {
-            (0..8u32).map(|row| counts[(row * 8 + col) as usize].1).sum()
-        };
+        let col_load =
+            |col: u32| -> u64 { (0..8u32).map(|row| counts[(row * 8 + col) as usize].1).sum() };
         assert!(col_load(4) > col_load(0));
         assert!(col_load(3) > col_load(7));
     }

@@ -337,13 +337,17 @@ impl SwarmApp for Silo {
 
     fn validate(&self, mem: &SimMemory) -> Result<(), String> {
         for w in 0..self.workload.warehouses {
-            if mem.load(self.warehouse_ytd.addr_of_field(w, 0)) != self.reference.warehouse_ytd[w as usize] {
+            if mem.load(self.warehouse_ytd.addr_of_field(w, 0))
+                != self.reference.warehouse_ytd[w as usize]
+            {
                 return Err(format!("warehouse {w} ytd mismatch"));
             }
         }
         let num_districts = self.workload.warehouses * self.workload.districts_per_warehouse;
         for d in 0..num_districts {
-            if mem.load(self.district.addr_of_field(d, 0)) != self.reference.district_ytd[d as usize] {
+            if mem.load(self.district.addr_of_field(d, 0))
+                != self.reference.district_ytd[d as usize]
+            {
                 return Err(format!("district {d} ytd mismatch"));
             }
             if mem.load(self.district.addr_of_field(d, 1))
@@ -354,13 +358,16 @@ impl SwarmApp for Silo {
         }
         let num_customers = num_districts * self.workload.customers_per_district;
         for c in 0..num_customers {
-            if mem.load(self.customer_balance.addr_of(c)) != self.reference.customer_balance[c as usize] {
+            if mem.load(self.customer_balance.addr_of(c))
+                != self.reference.customer_balance[c as usize]
+            {
                 return Err(format!("customer {c} balance mismatch"));
             }
         }
         let num_stock = self.workload.warehouses * self.workload.items;
         for s in 0..num_stock {
-            if mem.load(self.stock.addr_of_field(s, 0)) != self.reference.stock_quantity[s as usize] {
+            if mem.load(self.stock.addr_of_field(s, 0)) != self.reference.stock_quantity[s as usize]
+            {
                 return Err(format!("stock {s} quantity mismatch"));
             }
         }

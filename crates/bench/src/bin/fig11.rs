@@ -29,7 +29,10 @@ fn main() {
                 (s.name().to_string(), stats)
             })
             .collect();
-        println!("Fig. 11 [{}]: core-cycle breakdown at {cores} cores (normalized to Random)", bench.name());
+        println!(
+            "Fig. 11 [{}]: core-cycle breakdown at {cores} cores (normalized to Random)",
+            bench.name()
+        );
         println!("{}", format_breakdown_table(&entries));
     }
 }

@@ -4,7 +4,9 @@
 
 use spatial_hints::{classify_accesses, ClassifierConfig, Scheduler};
 use swarm_apps::AppSpec;
-use swarm_bench::{classification_header, format_classification_row, run_app_profiled, HarnessArgs, RunRequest};
+use swarm_bench::{
+    classification_header, format_classification_row, run_app_profiled, HarnessArgs, RunRequest,
+};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -21,6 +23,9 @@ fn main() {
         });
         let classification =
             classify_accesses(&stats.committed_accesses, ClassifierConfig::default());
-        print!("{}", format_classification_row(bench.name(), &classification, classification.total()));
+        print!(
+            "{}",
+            format_classification_row(bench.name(), &classification, classification.total())
+        );
     }
 }

@@ -28,9 +28,15 @@ fn main() {
                 (s.name().to_string(), stats)
             })
             .collect();
-        println!("Fig. 5a [{}]: core-cycle breakdown at {cores} cores (normalized to Random)", bench.name());
+        println!(
+            "Fig. 5a [{}]: core-cycle breakdown at {cores} cores (normalized to Random)",
+            bench.name()
+        );
         println!("{}", format_breakdown_table(&entries));
-        println!("Fig. 5b [{}]: NoC data breakdown at {cores} cores (normalized to Random)", bench.name());
+        println!(
+            "Fig. 5b [{}]: NoC data breakdown at {cores} cores (normalized to Random)",
+            bench.name()
+        );
         println!("{}", format_traffic_table(&entries));
     }
 }

@@ -5,7 +5,9 @@
 
 use spatial_hints::{classify_accesses, ClassifierConfig, Scheduler};
 use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{classification_header, format_classification_row, run_app_profiled, HarnessArgs, RunRequest};
+use swarm_bench::{
+    classification_header, format_classification_row, run_app_profiled, HarnessArgs, RunRequest,
+};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -16,9 +18,10 @@ fn main() {
             continue;
         }
         let mut cg_total = 0;
-        for (label, spec) in
-            [(format!("{}-cg", bench.name()), AppSpec::coarse(bench)), (format!("{}-fg", bench.name()), AppSpec::fine(bench))]
-        {
+        for (label, spec) in [
+            (format!("{}-cg", bench.name()), AppSpec::coarse(bench)),
+            (format!("{}-fg", bench.name()), AppSpec::fine(bench)),
+        ] {
             let stats = run_app_profiled(RunRequest {
                 spec,
                 scheduler: Scheduler::Hints,

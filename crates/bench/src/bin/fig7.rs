@@ -4,8 +4,8 @@
 
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{format_speedup_table, run_app, HarnessArgs, RunRequest};
 use swarm_bench::runner::ExperimentPoint;
+use swarm_bench::{format_speedup_table, run_app, HarnessArgs, RunRequest};
 
 fn main() {
     let mut args = HarnessArgs::parse();
@@ -16,7 +16,10 @@ fn main() {
         if !args.apps.contains(&bench) {
             continue;
         }
-        println!("Fig. 7 [{}]: CG and FG speedup vs cores (relative to CG at 1 core)", bench.name());
+        println!(
+            "Fig. 7 [{}]: CG and FG speedup vs cores (relative to CG at 1 core)",
+            bench.name()
+        );
         // The common baseline: coarse-grain on one core under Hints.
         let baseline = run_app(RunRequest {
             spec: AppSpec::coarse(bench),
@@ -26,16 +29,19 @@ fn main() {
             seed: args.seed,
         });
         let mut series = Vec::new();
-        for (label, spec) in
-            [("CG", AppSpec::coarse(bench)), ("FG", AppSpec::fine(bench))]
-        {
+        for (label, spec) in [("CG", AppSpec::coarse(bench)), ("FG", AppSpec::fine(bench))] {
             for &scheduler in &args.schedulers {
                 let points: Vec<ExperimentPoint> = args
                     .cores
                     .iter()
                     .map(|&cores| {
-                        let request =
-                            RunRequest { spec, scheduler, cores, scale: args.scale, seed: args.seed };
+                        let request = RunRequest {
+                            spec,
+                            scheduler,
+                            cores,
+                            scale: args.scale,
+                            seed: args.seed,
+                        };
                         let stats = run_app(request);
                         let speedup = stats.speedup_over(&baseline);
                         ExperimentPoint { request, stats, speedup }

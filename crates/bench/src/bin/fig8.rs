@@ -36,9 +36,15 @@ fn main() {
             });
             entries.push((format!("FG-{}", scheduler.name()), stats));
         }
-        println!("Fig. 8a [{}]: FG core-cycle breakdown at {cores} cores (normalized to CG-Random)", bench.name());
+        println!(
+            "Fig. 8a [{}]: FG core-cycle breakdown at {cores} cores (normalized to CG-Random)",
+            bench.name()
+        );
         println!("{}", format_breakdown_table(&entries));
-        println!("Fig. 8b [{}]: FG NoC data breakdown at {cores} cores (normalized to CG-Random)", bench.name());
+        println!(
+            "Fig. 8b [{}]: FG NoC data breakdown at {cores} cores (normalized to CG-Random)",
+            bench.name()
+        );
         println!("{}", format_traffic_table(&entries));
     }
 }

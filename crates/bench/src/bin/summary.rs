@@ -3,12 +3,10 @@
 //! core count, plus efficiency metrics (aborted-cycle and traffic
 //! reductions). Optionally dumps machine-readable JSON with `--json`.
 
-use serde::Serialize;
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId};
 use swarm_bench::{gmean, run_app, HarnessArgs, RunRequest};
 
-#[derive(Serialize)]
 struct AppSummary {
     app: String,
     cores: u32,
@@ -19,6 +17,33 @@ struct AppSummary {
     lbhints_speedup: f64,
     abort_cycle_reduction_hints_vs_random: f64,
     traffic_reduction_hints_vs_random: f64,
+}
+
+/// Hand-rolled JSON dump (the offline build has no serde_json). Strings
+/// here are app names, which never need escaping.
+fn to_json_pretty(summaries: &[AppSummary]) -> String {
+    let objects: Vec<String> = summaries
+        .iter()
+        .map(|s| {
+            format!(
+                "  {{\n    \"app\": \"{}\",\n    \"cores\": {},\n    \"random_speedup\": {},\n    \
+                 \"stealing_speedup\": {},\n    \"hints_speedup\": {},\n    \
+                 \"hints_fg_speedup\": {},\n    \"lbhints_speedup\": {},\n    \
+                 \"abort_cycle_reduction_hints_vs_random\": {},\n    \
+                 \"traffic_reduction_hints_vs_random\": {}\n  }}",
+                s.app,
+                s.cores,
+                s.random_speedup,
+                s.stealing_speedup,
+                s.hints_speedup,
+                s.hints_fg_speedup,
+                s.lbhints_speedup,
+                s.abort_cycle_reduction_hints_vs_random,
+                s.traffic_reduction_hints_vs_random
+            )
+        })
+        .collect();
+    format!("[\n{}\n]", objects.join(",\n"))
 }
 
 fn main() {
@@ -32,11 +57,8 @@ fn main() {
             run_app(RunRequest { spec, scheduler, cores: c, scale: args.scale, seed: args.seed })
         };
         let cg = AppSpec::coarse(bench);
-        let best_fg = if BenchmarkId::WITH_FINE_GRAIN.contains(&bench) {
-            AppSpec::fine(bench)
-        } else {
-            cg
-        };
+        let best_fg =
+            if BenchmarkId::WITH_FINE_GRAIN.contains(&bench) { AppSpec::fine(bench) } else { cg };
         let baseline = run(cg, Scheduler::Random, 1);
         let random = run(cg, Scheduler::Random, cores);
         let stealing = run(cg, Scheduler::Stealing, cores);
@@ -59,7 +81,7 @@ fn main() {
     }
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&summaries).expect("serializable"));
+        println!("{}", to_json_pretty(&summaries));
         return;
     }
 
@@ -81,9 +103,8 @@ fn main() {
             s.traffic_reduction_hints_vs_random
         );
     }
-    let col = |f: fn(&AppSummary) -> f64| -> f64 {
-        gmean(&summaries.iter().map(f).collect::<Vec<_>>())
-    };
+    let col =
+        |f: fn(&AppSummary) -> f64| -> f64 { gmean(&summaries.iter().map(f).collect::<Vec<_>>()) };
     println!(
         "{:<8}{:>10.2}{:>10.2}{:>10.2}{:>12.2}{:>10.2}{:>13.1}x{:>13.1}x",
         "gmean",

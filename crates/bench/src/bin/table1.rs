@@ -14,8 +14,8 @@ fn main() {
     let args = HarnessArgs::parse();
     println!("Table I: benchmark information (scale: {:?}, seed: {:#x})", args.scale, args.seed);
     println!(
-        "{:<8} {:<20} {:<22} {:>14} {:>12} {:>6}  {}",
-        "bench", "source", "paper input", "1c run (cyc)", "vs serial", "#fns", "hint pattern"
+        "{:<8} {:<20} {:<22} {:>14} {:>12} {:>6}  hint pattern",
+        "bench", "source", "paper input", "1c run (cyc)", "vs serial", "#fns"
     );
     for bench in args.apps {
         let spec = AppSpec::coarse(bench);

@@ -125,7 +125,14 @@ mod tests {
     #[test]
     fn parses_cores_scale_and_apps() {
         let args = HarnessArgs::parse_from(s(&[
-            "--cores", "1,2,8", "--scale", "tiny", "--apps", "des,kmeans", "--seed", "9",
+            "--cores",
+            "1,2,8",
+            "--scale",
+            "tiny",
+            "--apps",
+            "des,kmeans",
+            "--seed",
+            "9",
         ]));
         assert_eq!(args.cores, vec![1, 2, 8]);
         assert_eq!(args.scale, InputScale::Tiny);

@@ -11,7 +11,7 @@ pub mod runner;
 
 pub use cli::HarnessArgs;
 pub use report::{
-    classification_header, format_breakdown_table, format_classification_row,
-    format_speedup_table, format_traffic_table, gmean,
+    classification_header, format_breakdown_table, format_classification_row, format_speedup_table,
+    format_traffic_table, gmean,
 };
 pub use runner::{run_app, run_app_profiled, speedup_curve, ExperimentPoint, RunRequest};

@@ -152,8 +152,7 @@ mod tests {
         for class in AccessClass::ALL {
             assert!(header.contains(class.label()));
         }
-        let row =
-            format_classification_row("x", &AccessClassification::default(), 10);
+        let row = format_classification_row("x", &AccessClassification::default(), 10);
         assert!(row.starts_with(&format!("{:>12}", "x")));
     }
 }

@@ -90,8 +90,7 @@ pub fn speedup_curve(
         .iter()
         .map(|&cores| {
             let request = RunRequest { spec, scheduler, cores, scale, seed };
-            let stats =
-                if cores == 1 { baseline.clone() } else { run_app(request) };
+            let stats = if cores == 1 { baseline.clone() } else { run_app(request) };
             let speedup = stats.speedup_over(&baseline);
             ExperimentPoint { request, stats, speedup }
         })

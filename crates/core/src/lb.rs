@@ -32,9 +32,8 @@ impl TileMap {
         assert!(num_tiles > 0, "need at least one tile");
         assert!(num_buckets >= num_tiles, "need at least one bucket per tile");
         let per_tile = num_buckets / num_tiles;
-        let map = (0..num_buckets)
-            .map(|b| TileId(((b / per_tile).min(num_tiles - 1)) as u32))
-            .collect();
+        let map =
+            (0..num_buckets).map(|b| TileId(((b / per_tile).min(num_tiles - 1)) as u32)).collect();
         TileMap { map, num_tiles }
     }
 
@@ -66,12 +65,7 @@ impl TileMap {
 
     /// Buckets currently mapped to `tile`.
     pub fn buckets_of(&self, tile: TileId) -> Vec<u16> {
-        self.map
-            .iter()
-            .enumerate()
-            .filter(|(_, &t)| t == tile)
-            .map(|(b, _)| b as u16)
-            .collect()
+        self.map.iter().enumerate().filter(|(_, &t)| t == tile).map(|(b, _)| b as u16).collect()
     }
 
     /// Greedy rebalancing step shared by both load-balancer variants: given
@@ -305,13 +299,10 @@ mod tests {
         let mut map = TileMap::new(16, 4);
         // All the load is in tile 0's buckets.
         let mut weights = vec![0u64; 16];
-        for b in 0..4 {
-            weights[b] = 1000;
-        }
+        weights[..4].fill(1000);
         let changed = map.rebalance(&weights, 80);
         assert!(changed);
-        let tile0_load: u64 =
-            map.buckets_of(TileId(0)).iter().map(|&b| weights[b as usize]).sum();
+        let tile0_load: u64 = map.buckets_of(TileId(0)).iter().map(|&b| weights[b as usize]).sum();
         assert!(tile0_load < 4000, "tile 0 should have donated load, still has {tile0_load}");
     }
 
@@ -320,14 +311,11 @@ mod tests {
         let mut map_full = TileMap::new(16, 2);
         let mut map_damped = TileMap::new(16, 2);
         let mut weights = vec![0u64; 16];
-        for b in 0..8 {
-            weights[b] = 100;
-        }
+        weights[..8].fill(100);
         map_full.rebalance(&weights, 100);
         map_damped.rebalance(&weights, 40);
         let moved_full = 8 - map_full.buckets_of(TileId(0)).iter().filter(|&&b| b < 8).count();
-        let moved_damped =
-            8 - map_damped.buckets_of(TileId(0)).iter().filter(|&&b| b < 8).count();
+        let moved_damped = 8 - map_damped.buckets_of(TileId(0)).iter().filter(|&&b| b < 8).count();
         assert!(moved_full >= moved_damped);
     }
 
@@ -335,7 +323,7 @@ mod tests {
     fn rebalance_with_no_load_does_nothing() {
         let mut map = TileMap::new(16, 4);
         let before = map.clone();
-        assert!(!map.rebalance(&vec![0; 16], 80));
+        assert!(!map.rebalance(&[0; 16], 80));
         assert_eq!(map, before);
     }
 

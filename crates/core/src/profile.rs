@@ -165,8 +165,8 @@ pub fn classify_accesses(
         let read_only =
             loc.writes == 0 || loc.reads >= loc.writes.saturating_mul(cfg.ro_reads_per_write);
         let max_one_hint = loc.per_hint.values().copied().max().unwrap_or(0);
-        let single_hint = loc.total > 0
-            && (max_one_hint as f64 / loc.total as f64) > cfg.single_hint_fraction;
+        let single_hint =
+            loc.total > 0 && (max_one_hint as f64 / loc.total as f64) > cfg.single_hint_fraction;
         match (read_only, single_hint) {
             (true, true) => result.single_hint_ro += loc.total,
             (true, false) => result.multi_hint_ro += loc.total,
@@ -188,8 +188,7 @@ mod tests {
     #[test]
     fn single_hint_rw_location_is_classified() {
         // One location written repeatedly by tasks that all carry hint 7.
-        let tasks: Vec<_> =
-            (0..10).map(|_| task(7, vec![(0x100, true), (0x100, false)])).collect();
+        let tasks: Vec<_> = (0..10).map(|_| task(7, vec![(0x100, true), (0x100, false)])).collect();
         let c = classify_accesses(&tasks, ClassifierConfig::default());
         assert_eq!(c.single_hint_rw, 20);
         assert_eq!(c.multi_hint_rw, 0);
@@ -217,7 +216,7 @@ mod tests {
     fn read_mostly_location_respects_threshold() {
         // 1 write, 10 reads: read-only only if the threshold allows it.
         let mut accesses = vec![(0x400u64, true)];
-        accesses.extend(std::iter::repeat((0x400u64, false)).take(10));
+        accesses.extend(std::iter::repeat_n((0x400u64, false), 10));
         let tasks = vec![task(1, accesses)];
         let strict = classify_accesses(&tasks, ClassifierConfig::default());
         assert_eq!(strict.single_hint_rw, 11, "1000:1 threshold keeps it read-write");

@@ -64,10 +64,8 @@ impl TaskMapper for StealingMapper {
     }
 
     fn steal_victim(&mut self, thief: TileId, idle_per_tile: &[usize]) -> Option<TileId> {
-        let (victim, &count) = idle_per_tile
-            .iter()
-            .enumerate()
-            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))?;
+        let (victim, &count) =
+            idle_per_tile.iter().enumerate().max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))?;
         if count == 0 || victim == thief.index() {
             None
         } else {

@@ -342,8 +342,7 @@ mod tests {
 
     #[test]
     fn l1_capacity_eviction_falls_back_to_l2() {
-        let mut cfg = CacheConfig::default();
-        cfg.l1_lines = 2;
+        let cfg = CacheConfig { l1_lines: 2, ..Default::default() };
         let mut m = CacheModel::new(cfg, 1, 1);
         m.access(CoreId(0), LineAddr(1), AccessKind::Read);
         m.access(CoreId(0), LineAddr(2), AccessKind::Read);

@@ -47,11 +47,7 @@ impl Region {
 
     /// Number of addressable elements.
     pub fn len(&self) -> u64 {
-        if self.stride_words == 0 {
-            0
-        } else {
-            self.len_words / self.stride_words
-        }
+        self.len_words.checked_div(self.stride_words).unwrap_or(0)
     }
 
     /// Whether the region has no elements.

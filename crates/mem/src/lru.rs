@@ -91,7 +91,13 @@ impl LruSet {
 
     /// Insert `key` as most recently used. Returns the evicted key, if the
     /// set was full and a (different) key had to be removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`, which is reserved as the internal link
+    /// sentinel. (Keys model cache-line addresses, which never reach it.)
     pub fn insert(&mut self, key: u64) -> Option<u64> {
+        assert_ne!(key, NONE, "u64::MAX is reserved as the LruSet sentinel");
         if self.touch(key) {
             return None;
         }
@@ -182,6 +188,23 @@ mod tests {
     }
 
     #[test]
+    fn keys_adjacent_to_the_sentinel_work() {
+        let mut lru = LruSet::new(2);
+        assert_eq!(lru.insert(u64::MAX - 1), None);
+        assert_eq!(lru.insert(u64::MAX - 2), None);
+        assert_eq!(lru.insert(0), Some(u64::MAX - 1));
+        assert!(lru.contains(u64::MAX - 2));
+        assert!(lru.remove(u64::MAX - 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved as the LruSet sentinel")]
+    fn sentinel_key_is_rejected() {
+        let mut lru = LruSet::new(2);
+        lru.insert(u64::MAX);
+    }
+
+    #[test]
     fn touch_missing_key_returns_false() {
         let mut lru = LruSet::new(4);
         assert!(!lru.touch(42));
@@ -193,6 +216,101 @@ mod tests {
         for k in 0..1000u64 {
             lru.insert(k % 37);
             assert!(lru.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn evictions_come_out_in_recency_order() {
+        let mut lru = LruSet::new(4);
+        for k in [10, 11, 12, 13] {
+            assert_eq!(lru.insert(k), None);
+        }
+        // Recency (most to least): 13 12 11 10. Promote 11, then overflow.
+        assert!(lru.touch(11));
+        assert_eq!(lru.insert(14), Some(10));
+        assert_eq!(lru.insert(15), Some(12));
+        assert_eq!(lru.insert(16), Some(13));
+        assert_eq!(lru.insert(17), Some(11));
+    }
+
+    #[test]
+    fn remove_head_middle_and_tail_keep_links_consistent() {
+        for victim in [1u64, 2, 3] {
+            let mut lru = LruSet::new(3);
+            lru.insert(1); // tail
+            lru.insert(2); // middle
+            lru.insert(3); // head
+            assert!(lru.remove(victim));
+            assert_eq!(lru.len(), 2);
+            // The survivors must still evict in recency order (1 is the
+            // least recently used, then 2, then 3).
+            let mut survivors = [1, 2, 3].into_iter().filter(|&k| k != victim);
+            assert_eq!(lru.insert(100), None); // refills the freed slot
+            assert_eq!(lru.insert(101), Some(survivors.next().unwrap()));
+            assert_eq!(lru.insert(102), Some(survivors.next().unwrap()));
+        }
+    }
+
+    /// Cross-check against a naive `Vec`-based LRU over a deterministic
+    /// pseudo-random workload of inserts, touches, and removes.
+    #[test]
+    fn matches_reference_model_under_random_workload() {
+        struct RefLru {
+            capacity: usize,
+            keys: Vec<u64>, // front = most recently used
+        }
+        impl RefLru {
+            fn insert(&mut self, key: u64) -> Option<u64> {
+                if let Some(pos) = self.keys.iter().position(|&k| k == key) {
+                    self.keys.remove(pos);
+                    self.keys.insert(0, key);
+                    return None;
+                }
+                let evicted = if self.keys.len() >= self.capacity { self.keys.pop() } else { None };
+                self.keys.insert(0, key);
+                evicted
+            }
+            fn touch(&mut self, key: u64) -> bool {
+                match self.keys.iter().position(|&k| k == key) {
+                    Some(pos) => {
+                        self.keys.remove(pos);
+                        self.keys.insert(0, key);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            fn remove(&mut self, key: u64) -> bool {
+                match self.keys.iter().position(|&k| k == key) {
+                    Some(pos) => {
+                        self.keys.remove(pos);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+
+        let mut lru = LruSet::new(16);
+        let mut reference = RefLru { capacity: 16, keys: Vec::new() };
+        let mut state = 0x3DF4_A7E1u64; // xorshift64
+        for step in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let key = state % 48; // enough aliasing to exercise every path
+            match state >> 61 {
+                0..=4 => {
+                    assert_eq!(lru.insert(key), reference.insert(key), "insert at step {step}")
+                }
+                5 | 6 => assert_eq!(lru.touch(key), reference.touch(key), "touch at step {step}"),
+                _ => assert_eq!(lru.remove(key), reference.remove(key), "remove at step {step}"),
+            }
+            assert_eq!(lru.len(), reference.keys.len(), "len diverged at step {step}");
+            assert!(lru.len() <= 16);
+            for &k in &reference.keys {
+                assert!(lru.contains(k), "key {k} missing at step {step}");
+            }
         }
     }
 }

@@ -45,10 +45,7 @@ impl SimMemory {
     /// Write `value` to `addr`, returning the previous value.
     pub fn store(&mut self, addr: Addr, value: u64) -> u64 {
         self.store_seq += 1;
-        match self.words.insert(addr, value) {
-            Some(old) => old,
-            None => 0,
-        }
+        self.words.insert(addr, value).unwrap_or_default()
     }
 
     /// Write `value` to `addr` and produce an [`UndoEntry`] recording the
@@ -69,7 +66,7 @@ impl SimMemory {
     /// Undo a batch of entries from (possibly) several tasks. Entries are
     /// applied newest-first by sequence number regardless of input order.
     pub fn rollback_all(&mut self, entries: &mut Vec<UndoEntry>) {
-        entries.sort_by(|a, b| b.seq.cmp(&a.seq));
+        entries.sort_by_key(|e| std::cmp::Reverse(e.seq));
         for e in entries.iter() {
             self.rollback_entry(e);
         }

@@ -156,11 +156,7 @@ impl<'a> TaskCtx<'a> {
     /// Panics if `ts` is lower than this task's timestamp: Swarm only allows
     /// children with equal or later timestamps.
     pub fn enqueue(&mut self, fid: TaskFnId, ts: Timestamp, hint: Hint, args: Vec<u64>) {
-        assert!(
-            ts >= self.ts,
-            "child timestamp {ts} is lower than parent timestamp {}",
-            self.ts
-        );
+        assert!(ts >= self.ts, "child timestamp {ts} is lower than parent timestamp {}", self.ts);
         self.cycles += self.state.cfg.spec.task_mgmt_cost;
         self.children.push(PendingChild { fid, ts, hint, args });
     }

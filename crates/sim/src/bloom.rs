@@ -103,8 +103,7 @@ mod tests {
         for i in 0..32u64 {
             f.insert(LineAddr(1_000_000 + i));
         }
-        let false_positives =
-            (0..10_000u64).filter(|&i| f.maybe_contains(LineAddr(i))).count();
+        let false_positives = (0..10_000u64).filter(|&i| f.maybe_contains(LineAddr(i))).count();
         assert!(false_positives < 20, "too many false positives: {false_positives}");
     }
 

@@ -19,9 +19,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use swarm_noc::TrafficClass;
-use swarm_types::{
-    CoreId, Hint, SimError, SimResult, SystemConfig, TaskId, TileId, Timestamp,
-};
+use swarm_types::{CoreId, Hint, SimError, SimResult, SystemConfig, TaskId, TileId, Timestamp};
 
 use crate::app::{ExecutionOutcome, SwarmApp, TaskCtx};
 use crate::mapper::TaskMapper;
@@ -171,9 +169,7 @@ impl Engine {
         }
 
         if self.validate_result {
-            self.app
-                .validate(&self.state.mem)
-                .map_err(SimError::ValidationFailed)?;
+            self.app.validate(&self.state.mem).map_err(SimError::ValidationFailed)?;
         }
 
         Ok(self.collect_stats(runtime))
@@ -309,9 +305,7 @@ impl Engine {
             let conflicting = hash.is_some()
                 && tile_state.running.iter().any(|&r| {
                     let rrec = self.state.record(r);
-                    !rrec.aborted
-                        && rrec.desc.hint_hash == hash
-                        && rrec.key() < (ts, id)
+                    !rrec.aborted && rrec.desc.hint_hash == hash && rrec.key() < (ts, id)
                 });
             if !conflicting {
                 return Some(id);

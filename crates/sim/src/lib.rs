@@ -85,9 +85,7 @@ mod tests {
             "shared-counter"
         }
         fn initial_tasks(&self) -> Vec<InitialTask> {
-            (0..self.tasks)
-                .map(|i| InitialTask::new(0, 0, Hint::value(7), vec![i]))
-                .collect()
+            (0..self.tasks).map(|i| InitialTask::new(0, 0, Hint::value(7), vec![i])).collect()
         }
         fn run_task(&self, _fid: u16, _ts: u64, _args: &[u64], ctx: &mut TaskCtx<'_>) {
             let v = ctx.read(COUNTER_ADDR);
@@ -114,9 +112,7 @@ mod tests {
             "independent"
         }
         fn initial_tasks(&self) -> Vec<InitialTask> {
-            (0..self.tasks)
-                .map(|i| InitialTask::new(0, i, Hint::value(i), vec![i]))
-                .collect()
+            (0..self.tasks).map(|i| InitialTask::new(0, i, Hint::value(i), vec![i])).collect()
         }
         fn run_task(&self, _fid: u16, _ts: u64, args: &[u64], ctx: &mut TaskCtx<'_>) {
             let i = args[0];
@@ -298,11 +294,8 @@ mod tests {
         // Enqueueing at the same timestamp is allowed; regression is checked
         // in TaskCtx::enqueue via an assertion. Here we exercise the legal
         // path and make sure nothing errors.
-        let mut engine = Engine::new(
-            SystemConfig::single_core(),
-            Box::new(Regressing),
-            Box::new(PinnedMapper),
-        );
+        let mut engine =
+            Engine::new(SystemConfig::single_core(), Box::new(Regressing), Box::new(PinnedMapper));
         assert!(engine.run().is_ok());
     }
 

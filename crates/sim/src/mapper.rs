@@ -110,8 +110,7 @@ mod tests {
     #[test]
     fn round_robin_cycles_over_tiles() {
         let mut m = RoundRobinMapper::new();
-        let tiles: Vec<u32> =
-            (0..8).map(|_| m.map_task(Hint::None, None, 4).0).collect();
+        let tiles: Vec<u32> = (0..8).map(|_| m.map_task(Hint::None, None, 4).0).collect();
         assert_eq!(tiles, vec![0, 1, 2, 3, 0, 1, 2, 3]);
     }
 

@@ -270,7 +270,11 @@ impl SimState {
             self.tasks_spilled += spilled as u64;
             self.breakdown.spill += spilled as u64 * self.cfg.queues.spill_cost_per_task;
             let hops = self.mesh.hops(tile, TileId(0)).max(1);
-            self.traffic.record(TrafficClass::Memory, hops, self.mesh.line_flits() * spilled as u64);
+            self.traffic.record(
+                TrafficClass::Memory,
+                hops,
+                self.mesh.line_flits() * spilled as u64,
+            );
         }
     }
 
@@ -376,8 +380,8 @@ impl SimState {
         if let Some(acc) = self.line_table.get(&line) {
             self.conflict_checks += 1;
             let compared = (acc.readers.len() + acc.writers.len()) as u64;
-            check_cost = self.cfg.spec.conflict_check_cost
-                + compared * self.cfg.spec.conflict_compare_cost;
+            check_cost =
+                self.cfg.spec.conflict_check_cost + compared * self.cfg.spec.conflict_compare_cost;
             for &w in &acc.writers {
                 if w != task && self.record(w).key() > my_key {
                     victims.push(w);
@@ -518,13 +522,7 @@ impl SimState {
         //    aborted, so the parent's re-execution will re-create them).
         let discard: Vec<bool> = set
             .iter()
-            .map(|&t| {
-                self.record(t)
-                    .desc
-                    .parent
-                    .map(|p| set.contains(&p))
-                    .unwrap_or(false)
-            })
+            .map(|&t| self.record(t).desc.parent.map(|p| set.contains(&p)).unwrap_or(false))
             .collect();
 
         // 3. Roll back all undo entries of the set, newest store first.
@@ -600,7 +598,11 @@ impl SimState {
 
         // 5. Rollback memory traffic.
         if rollback_entries > 0 {
-            self.traffic.record(TrafficClass::Abort, 1, rollback_entries * self.mesh.control_flits());
+            self.traffic.record(
+                TrafficClass::Abort,
+                1,
+                rollback_entries * self.mesh.control_flits(),
+            );
         }
     }
 

@@ -159,8 +159,8 @@ mod tests {
 
     #[test]
     fn load_imbalance_zero_for_balanced_tiles() {
-        let mut s = RunStats::default();
-        s.committed_cycles_per_tile = vec![100, 100, 100, 100];
+        let mut s =
+            RunStats { committed_cycles_per_tile: vec![100, 100, 100, 100], ..Default::default() };
         assert!(s.load_imbalance().abs() < 1e-12);
         s.committed_cycles_per_tile = vec![0, 0, 200, 200];
         assert!(s.load_imbalance() > 0.5);
@@ -168,10 +168,8 @@ mod tests {
 
     #[test]
     fn speedup_is_ratio_of_runtimes() {
-        let mut base = RunStats::default();
-        base.runtime_cycles = 1000;
-        let mut fast = RunStats::default();
-        fast.runtime_cycles = 250;
+        let base = RunStats { runtime_cycles: 1000, ..Default::default() };
+        let fast = RunStats { runtime_cycles: 250, ..Default::default() };
         assert!((fast.speedup_over(&base) - 4.0).abs() < 1e-12);
     }
 }

@@ -57,12 +57,7 @@ pub struct NocConfig {
 
 impl Default for NocConfig {
     fn default() -> Self {
-        NocConfig {
-            hop_latency: 1,
-            turn_penalty: 1,
-            link_bits: 128,
-            control_flits: 1,
-        }
+        NocConfig { hop_latency: 1, turn_penalty: 1, link_bits: 128, control_flits: 1 }
     }
 }
 
@@ -231,7 +226,8 @@ impl SystemConfig {
     pub fn with_cores(cores: u32) -> Self {
         assert!(cores > 0, "core count must be positive");
         let mut cfg = SystemConfig::default();
-        let (cores_per_tile, tiles) = if cores % 4 == 0 { (4, cores / 4) } else { (1, cores) };
+        let (cores_per_tile, tiles) =
+            if cores.is_multiple_of(4) { (4, cores / 4) } else { (1, cores) };
         let (tx, ty) = Self::mesh_dims(tiles);
         cfg.tiles_x = tx;
         cfg.tiles_y = ty;
@@ -245,7 +241,7 @@ impl SystemConfig {
 
     fn mesh_dims(tiles: u32) -> (u32, u32) {
         let mut x = (tiles as f64).sqrt().floor() as u32;
-        while x > 1 && tiles % x != 0 {
+        while x > 1 && !tiles.is_multiple_of(x) {
             x -= 1;
         }
         (x.max(1), tiles / x.max(1))

@@ -32,14 +32,15 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidConfig(msg) => write!(f, "invalid system configuration: {msg}"),
             SimError::UnknownTaskFn(id) => write!(f, "unknown task function id {id}"),
-            SimError::TimestampRegression { parent, child } => write!(
-                f,
-                "child task timestamp {child} is lower than parent timestamp {parent}"
-            ),
+            SimError::TimestampRegression { parent, child } => {
+                write!(f, "child task timestamp {child} is lower than parent timestamp {parent}")
+            }
             SimError::TaskLimitExceeded(n) => {
                 write!(f, "executed more than {n} tasks; likely livelock")
             }
-            SimError::ValidationFailed(msg) => write!(f, "validation against serial reference failed: {msg}"),
+            SimError::ValidationFailed(msg) => {
+                write!(f, "validation against serial reference failed: {msg}")
+            }
         }
     }
 }

@@ -143,9 +143,67 @@ mod tests {
 
     #[test]
     fn hash_to_u16_differs_for_nearby_hints() {
-        let collisions = (0..1000u64)
-            .filter(|&v| hash_to_u16(v) == hash_to_u16(v + 1))
-            .count();
+        let collisions = (0..1000u64).filter(|&v| hash_to_u16(v) == hash_to_u16(v + 1)).count();
         assert!(collisions < 5, "too many adjacent 16-bit collisions: {collisions}");
+    }
+
+    #[test]
+    fn hash64_golden_values_are_stable() {
+        // Simulation results must replay bit-identically across platforms
+        // and future refactors; these pin the SplitMix64 finalizer.
+        assert_eq!(hash64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(hash64(1), 0x910A_2DEC_8902_5CC1);
+        assert_eq!(hash64(u64::MAX), 0xE4D9_71771B652C20);
+    }
+
+    #[test]
+    fn hash64_flips_roughly_half_the_bits_per_input_bit() {
+        let mut total = 0u32;
+        for bit in 0..64 {
+            total += (hash64(0x1234_5678) ^ hash64(0x1234_5678 ^ (1 << bit))).count_ones();
+        }
+        let avg = total as f64 / 64.0;
+        assert!((24.0..40.0).contains(&avg), "poor avalanche: {avg} bits flipped on average");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count must be non-empty")]
+    fn hash_to_bucket_zero_panics() {
+        let _ = hash_to_bucket(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in u16")]
+    fn hash_to_bucket_oversized_panics() {
+        let _ = hash_to_bucket(1, u16::MAX as usize + 2);
+    }
+
+    #[test]
+    fn hash_to_bucket_accepts_full_u16_range() {
+        let b = hash_to_bucket(99, u16::MAX as usize + 1);
+        let _ = b; // any u16 is in range; just must not panic
+    }
+
+    #[test]
+    fn hash_family_respects_range_and_is_deterministic() {
+        let fam = HashFamily::new(4);
+        let twin = HashFamily::new(4);
+        for i in 0..4 {
+            for v in 0..200u64 {
+                let h = fam.hash(i, v, 53);
+                assert!(h < 53);
+                assert_eq!(h, twin.hash(i, v, 53));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_family_members_are_independent() {
+        // Two members of the family should agree only about 1/range of the
+        // time; catching accidental seed collapse.
+        let fam = HashFamily::new(2);
+        let agreements =
+            (0..10_000u64).filter(|&v| fam.hash(0, v, 1024) == fam.hash(1, v, 1024)).count();
+        assert!(agreements < 100, "family members agree {agreements}/10000 times");
     }
 }

@@ -158,4 +158,48 @@ mod tests {
     fn default_hint_is_nohint() {
         assert_eq!(Hint::default(), Hint::None);
     }
+
+    #[test]
+    fn abstract_hints_have_no_hash_or_bucket() {
+        for h in [Hint::None, Hint::Same] {
+            assert_eq!(h.raw(), None);
+            assert_eq!(h.hash16(), None);
+            assert_eq!(h.bucket(1024), None);
+            assert!(!h.is_value());
+        }
+    }
+
+    #[test]
+    fn tiles_stay_in_bounds_for_all_tile_counts() {
+        for num_tiles in [1, 2, 3, 16, 64, 256] {
+            for v in 0..500u64 {
+                let tile = Hint::value(v).to_tile(num_tiles).expect("value hint maps");
+                assert!((tile.0 as usize) < num_tiles);
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_cover_the_default_bucket_space() {
+        let num_buckets = 1usize << HINT_BUCKET_BITS;
+        let seen: std::collections::HashSet<u16> =
+            (0..50_000u64).filter_map(|v| Hint::value(v).bucket(num_buckets)).collect();
+        assert!(seen.len() > num_buckets * 9 / 10, "only {} of {num_buckets} hit", seen.len());
+    }
+
+    #[test]
+    fn object_hints_distinguish_spaces_across_many_ids() {
+        for id in 0..1000u64 {
+            assert_ne!(Hint::object(1, id), Hint::object(2, id));
+            assert_eq!(Hint::object(1, id).resolve(None), Hint::object(1, id));
+        }
+    }
+
+    #[test]
+    fn resolve_is_idempotent() {
+        for h in [Hint::value(7), Hint::None, Hint::Same] {
+            let once = h.resolve(Some(Hint::value(3)));
+            assert_eq!(once.resolve(Some(Hint::value(3))), once);
+        }
+    }
 }

@@ -16,18 +16,18 @@ fn run(circuit: Circuit, scheduler: Scheduler, cores: u32) -> RunStats {
 
 fn main() {
     let circuit = Circuit::layered(12, 8, 6, 42);
+    println!("des: {} gates, {} external toggles\n", circuit.gates.len(), circuit.waveforms.len());
     println!(
-        "des: {} gates, {} external toggles\n",
-        circuit.gates.len(),
-        circuit.waveforms.len()
+        "{:>10}{:>8}{:>12}{:>10}{:>10}{:>12}",
+        "scheduler", "cores", "cycles", "commits", "aborts", "speedup"
     );
-    println!("{:>10}{:>8}{:>12}{:>10}{:>10}{:>12}", "scheduler", "cores", "cycles", "commits", "aborts", "speedup");
     let baseline = run(circuit.clone(), Scheduler::Random, 1);
     println!(
         "{:>10}{:>8}{:>12}{:>10}{:>10}{:>12.2}",
         "Random", 1, baseline.runtime_cycles, baseline.tasks_committed, baseline.tasks_aborted, 1.0
     );
-    for scheduler in [Scheduler::Random, Scheduler::Stealing, Scheduler::Hints, Scheduler::LbHints] {
+    for scheduler in [Scheduler::Random, Scheduler::Stealing, Scheduler::Hints, Scheduler::LbHints]
+    {
         for cores in [16u32, 64] {
             let stats = run(circuit.clone(), scheduler, cores);
             println!(

@@ -20,8 +20,12 @@ fn main() {
         "silo: {} transactions over {} warehouses, 16 cores\n",
         workload.transactions, workload.warehouses
     );
-    println!("{:>10}{:>12}{:>10}{:>10}{:>14}", "scheduler", "cycles", "commits", "aborts", "NoC flit-hops");
-    for scheduler in [Scheduler::Random, Scheduler::Stealing, Scheduler::Hints, Scheduler::LbHints] {
+    println!(
+        "{:>10}{:>12}{:>10}{:>10}{:>14}",
+        "scheduler", "cycles", "commits", "aborts", "NoC flit-hops"
+    );
+    for scheduler in [Scheduler::Random, Scheduler::Stealing, Scheduler::Hints, Scheduler::LbHints]
+    {
         let stats = run(workload.clone(), scheduler, 16);
         println!(
             "{:>10}{:>12}{:>10}{:>10}{:>14}",

@@ -21,7 +21,9 @@ fn main() {
         "variant", "scheduler", "cycles", "commits", "aborts"
     );
     for fine in [false, true] {
-        for scheduler in [Scheduler::Random, Scheduler::Stealing, Scheduler::Hints, Scheduler::LbHints] {
+        for scheduler in
+            [Scheduler::Random, Scheduler::Stealing, Scheduler::Hints, Scheduler::LbHints]
+        {
             let graph = Graph::road_grid(24, 24, 7);
             let app: Box<dyn SwarmApp> = if fine {
                 Box::new(Sssp::fine(graph, 0))

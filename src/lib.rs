@@ -38,9 +38,7 @@ pub use swarm_types as types;
 
 /// Commonly used items, importable with `use swarm_repro::prelude::*`.
 pub mod prelude {
-    pub use spatial_hints::{
-        classify_accesses, AccessClassification, ClassifierConfig, Scheduler,
-    };
+    pub use spatial_hints::{classify_accesses, AccessClassification, ClassifierConfig, Scheduler};
     pub use swarm_apps::{AppSpec, BenchmarkId, InputScale};
     pub use swarm_sim::{Engine, InitialTask, RunStats, SwarmApp, TaskCtx, TaskMapper};
     pub use swarm_types::{Hint, SystemConfig, TileId, Timestamp};

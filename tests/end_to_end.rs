@@ -11,9 +11,9 @@ fn run(spec: AppSpec, scheduler: Scheduler, cores: u32) -> RunStats {
     let cfg = SystemConfig::with_cores(cores);
     let app = spec.build(InputScale::Tiny, 99);
     let mut engine = Engine::new(cfg.clone(), app, scheduler.build(&cfg));
-    engine
-        .run()
-        .unwrap_or_else(|e| panic!("{} under {scheduler} at {cores} cores failed: {e}", spec.name()))
+    engine.run().unwrap_or_else(|e| {
+        panic!("{} under {scheduler} at {cores} cores failed: {e}", spec.name())
+    })
 }
 
 #[test]

@@ -1,0 +1,48 @@
+//! Smoke test: every `examples/*.rs` target must run to completion.
+//!
+//! The examples double as executable documentation of the public API, and
+//! each one validates its simulated results against a serial reference
+//! (panicking on mismatch), so "ran and exited 0 with output" is a real
+//! end-to-end check. The example list is discovered from the filesystem so
+//! a newly added example can never silently rot outside this test.
+
+use std::path::Path;
+use std::process::Command;
+
+fn example_names() -> Vec<String> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("examples/ directory must exist")
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            if path.extension().is_some_and(|ext| ext == "rs") {
+                Some(path.file_stem().expect("stem").to_string_lossy().into_owned())
+            } else {
+                None
+            }
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn every_example_runs_and_produces_output() {
+    let names = example_names();
+    assert!(names.len() >= 4, "expected at least the four seed examples, found {names:?}");
+    for name in names {
+        let output = Command::new(env!("CARGO"))
+            .args(["run", "--quiet", "--example", &name])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{name}` exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(!output.stdout.is_empty(), "example `{name}` printed nothing to stdout");
+    }
+}

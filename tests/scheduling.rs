@@ -58,9 +58,8 @@ fn hints_localize_same_object_tasks_to_few_tiles() {
     // essentially all the committed work; Random spreads it over all 4.
     let hints = run_objects(Scheduler::Hints, 2, 32);
     let random = run_objects(Scheduler::Random, 2, 32);
-    let busy_tiles = |stats: &RunStats| {
-        stats.committed_cycles_per_tile.iter().filter(|&&c| c > 0).count()
-    };
+    let busy_tiles =
+        |stats: &RunStats| stats.committed_cycles_per_tile.iter().filter(|&&c| c > 0).count();
     assert!(busy_tiles(&hints) <= 2, "hints used {} tiles for 2 objects", busy_tiles(&hints));
     assert!(busy_tiles(&random) >= 3, "random only used {} tiles", busy_tiles(&random));
 }

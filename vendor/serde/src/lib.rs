@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and id
+//! types so downstream users *could* persist them, but nothing in-tree
+//! consumes the impls. This shim supplies marker traits and re-exports the
+//! no-op derives so the annotations compile without crates.io access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace consumes the generated serde impls (the one
+//! JSON emitter writes JSON by hand), so these derives only need to make
+//! `#[derive(Serialize, Deserialize)]` compile. They validate nothing and
+//! emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
