@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Cri
 
 use spatial_hints::{classify_accesses, ClassifierConfig, Scheduler};
 use swarm_apps::{AppSpec, BenchmarkId, InputScale};
-use swarm_bench::{run_app, run_app_profiled, RunRequest};
+use swarm_bench::{run_app, run_app_profiled, Pool, RunRequest};
 
 const CORES: u32 = 16;
 
@@ -93,11 +93,30 @@ fn bench_fig_load_balancer(c: &mut Criterion) {
     group.finish();
 }
 
+/// Whole-figure regeneration, serial vs parallel: the Fig. 2a matrix
+/// (4 schedulers × 4 core counts on des) through a 1-job and an all-cores
+/// [`Pool`]. The gap between the two is the wall-clock win `--jobs` buys.
+fn bench_fig_matrix_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_matrix_jobs");
+    group.sample_size(10);
+    let series: Vec<_> = Scheduler::ALL
+        .iter()
+        .map(|&s| (s.name().to_string(), AppSpec::coarse(BenchmarkId::Des), s))
+        .collect();
+    for (label, pool) in [("serial", Pool::serial()), ("parallel", Pool::new(0))] {
+        group.bench_with_input(CriterionId::from_parameter(label), &pool, |b, pool| {
+            b.iter(|| pool.speedup_curves(&series, &[1, 4, 16], InputScale::Tiny, 0xF1605))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     figures,
     bench_fig_scheduler_comparison,
     bench_fig_access_classification,
     bench_fig_fine_grain,
-    bench_fig_load_balancer
+    bench_fig_load_balancer,
+    bench_fig_matrix_parallelism
 );
 criterion_main!(figures);

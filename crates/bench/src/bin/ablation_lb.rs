@@ -5,29 +5,37 @@
 
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{run_app, HarnessArgs, RunRequest};
+use swarm_bench::{HarnessArgs, RunRequest};
+
+const SIGNALS: [Scheduler; 3] = [Scheduler::Hints, Scheduler::LbHints, Scheduler::IdleLb];
 
 fn main() {
     let args = HarnessArgs::parse();
+    let args = &args;
     let cores = args.max_cores();
-    let apps = [BenchmarkId::Des, BenchmarkId::Nocsim, BenchmarkId::Silo, BenchmarkId::Kmeans];
+    let benches: Vec<BenchmarkId> =
+        [BenchmarkId::Des, BenchmarkId::Nocsim, BenchmarkId::Silo, BenchmarkId::Kmeans]
+            .into_iter()
+            .filter(|b| args.apps.contains(b))
+            .collect();
+
+    let requests: Vec<RunRequest> = benches
+        .iter()
+        .flat_map(|&bench| {
+            SIGNALS
+                .iter()
+                .map(move |&scheduler| args.request(AppSpec::coarse(bench), scheduler, cores))
+        })
+        .collect();
+    let all_stats = args.pool().run_matrix(&requests);
+
     println!("Section VI-A ablation at {cores} cores: load-balancer signal comparison");
     println!(
         "{:<8}{:>12}{:>12}{:>12}{:>16}{:>16}",
         "app", "Hints", "LBHints", "IdleLB", "LB vs Hints", "Idle vs Hints"
     );
-    for bench in apps {
-        if !args.apps.contains(&bench) {
-            continue;
-        }
-        let spec = AppSpec::coarse(bench);
-        let run = |scheduler: Scheduler| {
-            run_app(RunRequest { spec, scheduler, cores, scale: args.scale, seed: args.seed })
-                .runtime_cycles as f64
-        };
-        let hints = run(Scheduler::Hints);
-        let lb = run(Scheduler::LbHints);
-        let idle = run(Scheduler::IdleLb);
+    for (bench, stats) in benches.iter().zip(all_stats.chunks(SIGNALS.len())) {
+        let [hints, lb, idle] = [0, 1, 2].map(|i| stats[i].runtime_cycles as f64);
         println!(
             "{:<8}{:>12.0}{:>12.0}{:>12.0}{:>15.1}%{:>15.1}%",
             bench.name(),

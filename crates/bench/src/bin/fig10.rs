@@ -5,28 +5,29 @@
 
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{format_speedup_table, speedup_curve, HarnessArgs};
+use swarm_bench::{format_speedup_table, CurveSpec, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
-    for bench in args.apps {
-        println!("Fig. 10 [{}]: speedup vs cores", bench.name());
-        let series: Vec<(String, _)> = args
-            .schedulers
-            .iter()
-            .map(|&s| {
+    let series: Vec<CurveSpec> = args
+        .apps
+        .iter()
+        .flat_map(|&bench| {
+            args.schedulers.iter().map(move |&s| {
                 let hint_based = matches!(s, Scheduler::Hints | Scheduler::LbHints);
                 let spec = if hint_based && BenchmarkId::WITH_FINE_GRAIN.contains(&bench) {
                     AppSpec::fine(bench)
                 } else {
                     AppSpec::coarse(bench)
                 };
-                (
-                    format!("{}{}", s.name(), if spec.fine_grain { "(FG)" } else { "" }),
-                    speedup_curve(spec, s, &args.cores, args.scale, args.seed),
-                )
+                (format!("{}{}", s.name(), if spec.fine_grain { "(FG)" } else { "" }), spec, s)
             })
-            .collect();
-        println!("{}", format_speedup_table(&series));
+        })
+        .collect();
+    let curves = args.pool().speedup_curves(&series, &args.cores, args.scale, args.seed);
+
+    for (bench, app_curves) in args.apps.iter().zip(curves.chunks(args.schedulers.len())) {
+        println!("Fig. 10 [{}]: speedup vs cores", bench.name());
+        println!("{}", format_speedup_table(app_curves));
     }
 }

@@ -3,36 +3,35 @@
 //! to Random) — the benchmarks where the data-centric load balancer matters.
 
 use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{format_breakdown_table, run_app, HarnessArgs, RunRequest};
+use swarm_bench::{format_breakdown_table, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let args = &args;
     let cores = args.max_cores();
-    let fig11_apps =
-        [BenchmarkId::Des, BenchmarkId::Nocsim, BenchmarkId::Silo, BenchmarkId::Kmeans];
-    for bench in fig11_apps {
-        if !args.apps.contains(&bench) {
-            continue;
-        }
-        let spec = AppSpec::coarse(bench);
-        let entries: Vec<(String, _)> = args
-            .schedulers
-            .iter()
-            .map(|&s| {
-                let stats = run_app(RunRequest {
-                    spec,
-                    scheduler: s,
-                    cores,
-                    scale: args.scale,
-                    seed: args.seed,
-                });
-                (s.name().to_string(), stats)
-            })
+    let benches: Vec<BenchmarkId> =
+        [BenchmarkId::Des, BenchmarkId::Nocsim, BenchmarkId::Silo, BenchmarkId::Kmeans]
+            .into_iter()
+            .filter(|b| args.apps.contains(b))
             .collect();
+
+    let entries = args.pool().run_labeled(
+        benches
+            .iter()
+            .flat_map(|&bench| {
+                let spec = AppSpec::coarse(bench);
+                args.schedulers
+                    .iter()
+                    .map(move |&s| (s.name().to_string(), args.request(spec, s, cores)))
+            })
+            .collect(),
+    );
+
+    for (bench, bench_entries) in benches.iter().zip(entries.chunks(args.schedulers.len())) {
         println!(
             "Fig. 11 [{}]: core-cycle breakdown at {cores} cores (normalized to Random)",
             bench.name()
         );
-        println!("{}", format_breakdown_table(&entries));
+        println!("{}", format_breakdown_table(bench_entries));
     }
 }

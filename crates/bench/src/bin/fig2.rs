@@ -3,37 +3,31 @@
 //! core count, normalized to Random.
 
 use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{
-    format_breakdown_table, format_speedup_table, run_app, speedup_curve, HarnessArgs, RunRequest,
-};
+use swarm_bench::{format_breakdown_table, format_speedup_table, CurveSpec, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
     let spec = AppSpec::coarse(BenchmarkId::Des);
 
-    println!("Fig. 2a: des speedup vs cores (relative to 1-core Swarm)");
-    let series: Vec<(String, _)> = args
-        .schedulers
-        .iter()
-        .map(|&s| {
-            (s.name().to_string(), speedup_curve(spec, s, &args.cores, args.scale, args.seed))
-        })
-        .collect();
-    println!("{}", format_speedup_table(&series));
+    // One matrix serves both parts: the largest core count is always part
+    // of the sweep, so Fig. 2b reuses those points instead of re-running.
+    let series: Vec<CurveSpec> =
+        args.schedulers.iter().map(|&s| (s.name().to_string(), spec, s)).collect();
+    let curves = args.pool().speedup_curves(&series, &args.cores, args.scale, args.seed);
 
-    println!("Fig. 2b: des cycle breakdown at {} cores (normalized to Random)", args.max_cores());
-    let entries: Vec<(String, _)> = args
-        .schedulers
-        .iter()
-        .map(|&s| {
-            let stats = run_app(RunRequest {
-                spec,
-                scheduler: s,
-                cores: args.max_cores(),
-                scale: args.scale,
-                seed: args.seed,
-            });
-            (s.name().to_string(), stats)
+    println!("Fig. 2a: des speedup vs cores (relative to 1-core Swarm)");
+    println!("{}", format_speedup_table(&curves));
+
+    let max = args.max_cores();
+    println!("Fig. 2b: des cycle breakdown at {max} cores (normalized to Random)");
+    let entries: Vec<_> = curves
+        .into_iter()
+        .map(|(label, points)| {
+            let at_max = points
+                .into_iter()
+                .find(|p| p.request.cores == max)
+                .expect("max_cores is the largest swept core count");
+            (label, at_max.stats)
         })
         .collect();
     println!("{}", format_breakdown_table(&entries));

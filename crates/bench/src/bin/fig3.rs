@@ -4,23 +4,20 @@
 
 use spatial_hints::{classify_accesses, ClassifierConfig, Scheduler};
 use swarm_apps::AppSpec;
-use swarm_bench::{
-    classification_header, format_classification_row, run_app_profiled, HarnessArgs, RunRequest,
-};
+use swarm_bench::{classification_header, format_classification_row, HarnessArgs, RunRequest};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let requests: Vec<RunRequest> = args
+        .apps
+        .iter()
+        .map(|&bench| args.request(AppSpec::coarse(bench), Scheduler::Hints, 4))
+        .collect();
+    let all_stats = args.pool().run_matrix_profiled(&requests);
+
     println!("Fig. 3: classification of memory accesses (fractions of each app's total)");
     print!("{}", classification_header());
-    for bench in args.apps {
-        let spec = AppSpec::coarse(bench);
-        let stats = run_app_profiled(RunRequest {
-            spec,
-            scheduler: Scheduler::Hints,
-            cores: 4,
-            scale: args.scale,
-            seed: args.seed,
-        });
+    for (bench, stats) in args.apps.iter().zip(&all_stats) {
         let classification =
             classify_accesses(&stats.committed_accesses, ClassifierConfig::default());
         print!(

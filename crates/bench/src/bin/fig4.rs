@@ -3,24 +3,28 @@
 
 use spatial_hints::Scheduler;
 use swarm_apps::AppSpec;
-use swarm_bench::{format_speedup_table, speedup_curve, HarnessArgs};
+use swarm_bench::{format_speedup_table, CurveSpec, HarnessArgs};
 
 fn main() {
-    let mut args = HarnessArgs::parse();
+    let args = HarnessArgs::parse();
     // Fig. 4 compares Random, Stealing and Hints (LBHints appears in Fig. 10).
-    if args.schedulers == Scheduler::ALL.to_vec() {
-        args.schedulers = vec![Scheduler::Random, Scheduler::Stealing, Scheduler::Hints];
-    }
-    for bench in args.apps {
-        let spec = AppSpec::coarse(bench);
+    let schedulers =
+        args.schedulers_or(&[Scheduler::Random, Scheduler::Stealing, Scheduler::Hints]);
+
+    // One flat matrix across all apps × schedulers × core counts, chunked
+    // back into one table per app.
+    let series: Vec<CurveSpec> = args
+        .apps
+        .iter()
+        .flat_map(|&bench| {
+            let spec = AppSpec::coarse(bench);
+            schedulers.iter().map(move |&s| (s.name().to_string(), spec, s))
+        })
+        .collect();
+    let curves = args.pool().speedup_curves(&series, &args.cores, args.scale, args.seed);
+
+    for (bench, app_curves) in args.apps.iter().zip(curves.chunks(schedulers.len())) {
         println!("Fig. 4 [{}]: speedup vs cores", bench.name());
-        let series: Vec<(String, _)> = args
-            .schedulers
-            .iter()
-            .map(|&s| {
-                (s.name().to_string(), speedup_curve(spec, s, &args.cores, args.scale, args.seed))
-            })
-            .collect();
-        println!("{}", format_speedup_table(&series));
+        println!("{}", format_speedup_table(app_curves));
     }
 }

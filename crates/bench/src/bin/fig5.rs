@@ -4,39 +4,38 @@
 
 use spatial_hints::Scheduler;
 use swarm_apps::AppSpec;
-use swarm_bench::{format_breakdown_table, format_traffic_table, run_app, HarnessArgs, RunRequest};
+use swarm_bench::{format_breakdown_table, format_traffic_table, HarnessArgs};
 
 fn main() {
-    let mut args = HarnessArgs::parse();
-    if args.schedulers == Scheduler::ALL.to_vec() {
-        args.schedulers = vec![Scheduler::Random, Scheduler::Stealing, Scheduler::Hints];
-    }
+    let args = HarnessArgs::parse();
+    let args = &args;
+    let schedulers =
+        args.schedulers_or(&[Scheduler::Random, Scheduler::Stealing, Scheduler::Hints]);
     let cores = args.max_cores();
-    for bench in args.apps {
-        let spec = AppSpec::coarse(bench);
-        let entries: Vec<(String, _)> = args
-            .schedulers
+
+    // One flat labelled matrix across all apps × schedulers.
+    let entries = args.pool().run_labeled(
+        args.apps
             .iter()
-            .map(|&s| {
-                let stats = run_app(RunRequest {
-                    spec,
-                    scheduler: s,
-                    cores,
-                    scale: args.scale,
-                    seed: args.seed,
-                });
-                (s.name().to_string(), stats)
+            .flat_map(|&bench| {
+                let spec = AppSpec::coarse(bench);
+                schedulers
+                    .iter()
+                    .map(move |&s| (s.name().to_string(), args.request(spec, s, cores)))
             })
-            .collect();
+            .collect(),
+    );
+
+    for (bench, app_entries) in args.apps.iter().zip(entries.chunks(schedulers.len())) {
         println!(
             "Fig. 5a [{}]: core-cycle breakdown at {cores} cores (normalized to Random)",
             bench.name()
         );
-        println!("{}", format_breakdown_table(&entries));
+        println!("{}", format_breakdown_table(app_entries));
         println!(
             "Fig. 5b [{}]: NoC data breakdown at {cores} cores (normalized to Random)",
             bench.name()
         );
-        println!("{}", format_traffic_table(&entries));
+        println!("{}", format_traffic_table(app_entries));
     }
 }

@@ -4,52 +4,41 @@
 
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::runner::ExperimentPoint;
-use swarm_bench::{format_speedup_table, run_app, HarnessArgs, RunRequest};
+use swarm_bench::{format_speedup_table, CurveSpec, HarnessArgs, RunRequest};
 
 fn main() {
-    let mut args = HarnessArgs::parse();
-    if args.schedulers == Scheduler::ALL.to_vec() {
-        args.schedulers = vec![Scheduler::Random, Scheduler::Stealing, Scheduler::Hints];
-    }
-    for bench in BenchmarkId::WITH_FINE_GRAIN {
-        if !args.apps.contains(&bench) {
-            continue;
-        }
+    let args = HarnessArgs::parse();
+    let schedulers =
+        args.schedulers_or(&[Scheduler::Random, Scheduler::Stealing, Scheduler::Hints]);
+    let benches: Vec<BenchmarkId> =
+        BenchmarkId::WITH_FINE_GRAIN.into_iter().filter(|b| args.apps.contains(b)).collect();
+
+    // One group per bench: the shared baseline (coarse-grain on one core
+    // under Hints) plus the CG/FG × scheduler series — all benches batched
+    // into one flat matrix.
+    let groups: Vec<(RunRequest, Vec<CurveSpec>)> = benches
+        .iter()
+        .map(|&bench| {
+            let baseline = args.request(AppSpec::coarse(bench), Scheduler::Hints, 1);
+            let series: Vec<CurveSpec> =
+                [("CG", AppSpec::coarse(bench)), ("FG", AppSpec::fine(bench))]
+                    .into_iter()
+                    .flat_map(|(label, spec)| {
+                        schedulers
+                            .iter()
+                            .map(move |&s| (format!("{label}-{}", s.short_label()), spec, s))
+                    })
+                    .collect();
+            (baseline, series)
+        })
+        .collect();
+    let results = args.pool().speedup_curve_groups(&groups, &args.cores, args.scale, args.seed);
+
+    for (bench, (_, curves)) in benches.iter().zip(&results) {
         println!(
             "Fig. 7 [{}]: CG and FG speedup vs cores (relative to CG at 1 core)",
             bench.name()
         );
-        // The common baseline: coarse-grain on one core under Hints.
-        let baseline = run_app(RunRequest {
-            spec: AppSpec::coarse(bench),
-            scheduler: Scheduler::Hints,
-            cores: 1,
-            scale: args.scale,
-            seed: args.seed,
-        });
-        let mut series = Vec::new();
-        for (label, spec) in [("CG", AppSpec::coarse(bench)), ("FG", AppSpec::fine(bench))] {
-            for &scheduler in &args.schedulers {
-                let points: Vec<ExperimentPoint> = args
-                    .cores
-                    .iter()
-                    .map(|&cores| {
-                        let request = RunRequest {
-                            spec,
-                            scheduler,
-                            cores,
-                            scale: args.scale,
-                            seed: args.seed,
-                        };
-                        let stats = run_app(request);
-                        let speedup = stats.speedup_over(&baseline);
-                        ExperimentPoint { request, stats, speedup }
-                    })
-                    .collect();
-                series.push((format!("{label}-{}", scheduler.short_label()), points));
-            }
-        }
-        println!("{}", format_speedup_table(&series));
+        println!("{}", format_speedup_table(curves));
     }
 }

@@ -4,47 +4,43 @@
 
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{format_breakdown_table, format_traffic_table, run_app, HarnessArgs, RunRequest};
+use swarm_bench::{format_breakdown_table, format_traffic_table, HarnessArgs};
 
 fn main() {
-    let mut args = HarnessArgs::parse();
-    if args.schedulers == Scheduler::ALL.to_vec() {
-        args.schedulers = vec![Scheduler::Random, Scheduler::Stealing, Scheduler::Hints];
-    }
+    let args = HarnessArgs::parse();
+    let args = &args;
+    let schedulers =
+        args.schedulers_or(&[Scheduler::Random, Scheduler::Stealing, Scheduler::Hints]);
     let cores = args.max_cores();
-    for bench in BenchmarkId::WITH_FINE_GRAIN {
-        if !args.apps.contains(&bench) {
-            continue;
-        }
-        // The normalization baseline is the coarse-grain version under
-        // Random (as in the paper).
-        let baseline = run_app(RunRequest {
-            spec: AppSpec::coarse(bench),
-            scheduler: Scheduler::Random,
-            cores,
-            scale: args.scale,
-            seed: args.seed,
-        });
-        let mut entries = vec![("CG-Random".to_string(), baseline)];
-        for &scheduler in &args.schedulers {
-            let stats = run_app(RunRequest {
-                spec: AppSpec::fine(bench),
-                scheduler,
-                cores,
-                scale: args.scale,
-                seed: args.seed,
-            });
-            entries.push((format!("FG-{}", scheduler.name()), stats));
-        }
+    let benches: Vec<BenchmarkId> =
+        BenchmarkId::WITH_FINE_GRAIN.into_iter().filter(|b| args.apps.contains(b)).collect();
+
+    // Per bench: the CG-Random normalization baseline (as in the paper),
+    // then the FG runs — all batched into one labelled matrix.
+    let entries = args.pool().run_labeled(
+        benches
+            .iter()
+            .flat_map(|&bench| {
+                let base = args.request(AppSpec::coarse(bench), Scheduler::Random, cores);
+                std::iter::once(("CG-Random".to_string(), base)).chain(schedulers.iter().map(
+                    move |&s| {
+                        (format!("FG-{}", s.name()), args.request(AppSpec::fine(bench), s, cores))
+                    },
+                ))
+            })
+            .collect(),
+    );
+
+    for (bench, bench_entries) in benches.iter().zip(entries.chunks(schedulers.len() + 1)) {
         println!(
             "Fig. 8a [{}]: FG core-cycle breakdown at {cores} cores (normalized to CG-Random)",
             bench.name()
         );
-        println!("{}", format_breakdown_table(&entries));
+        println!("{}", format_breakdown_table(bench_entries));
         println!(
             "Fig. 8b [{}]: FG NoC data breakdown at {cores} cores (normalized to CG-Random)",
             bench.name()
         );
-        println!("{}", format_traffic_table(&entries));
+        println!("{}", format_traffic_table(bench_entries));
     }
 }

@@ -5,7 +5,7 @@
 
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{gmean, run_app, HarnessArgs, RunRequest};
+use swarm_bench::{gmean, HarnessArgs, RunRequest};
 
 struct AppSummary {
     app: String,
@@ -46,39 +46,62 @@ fn to_json_pretty(summaries: &[AppSummary]) -> String {
     format!("[\n{}\n]", objects.join(",\n"))
 }
 
+/// The six runs the summary needs per app, in matrix order.
+const RUNS_PER_APP: usize = 6;
+
 fn main() {
     let args = HarnessArgs::parse();
     let json = std::env::args().any(|a| a == "--json");
     let cores = args.max_cores();
-    let mut summaries = Vec::new();
 
-    for bench in args.apps.clone() {
-        let run = |spec: AppSpec, scheduler: Scheduler, c: u32| {
-            run_app(RunRequest { spec, scheduler, cores: c, scale: args.scale, seed: args.seed })
-        };
-        let cg = AppSpec::coarse(bench);
-        let best_fg =
-            if BenchmarkId::WITH_FINE_GRAIN.contains(&bench) { AppSpec::fine(bench) } else { cg };
-        let baseline = run(cg, Scheduler::Random, 1);
-        let random = run(cg, Scheduler::Random, cores);
-        let stealing = run(cg, Scheduler::Stealing, cores);
-        let hints = run(cg, Scheduler::Hints, cores);
-        let hints_fg = run(best_fg, Scheduler::Hints, cores);
-        let lbhints = run(best_fg, Scheduler::LbHints, cores);
-        summaries.push(AppSummary {
-            app: bench.name().to_string(),
-            cores,
-            random_speedup: random.speedup_over(&baseline),
-            stealing_speedup: stealing.speedup_over(&baseline),
-            hints_speedup: hints.speedup_over(&baseline),
-            hints_fg_speedup: hints_fg.speedup_over(&baseline),
-            lbhints_speedup: lbhints.speedup_over(&baseline),
-            abort_cycle_reduction_hints_vs_random: random.breakdown.aborted.max(1) as f64
-                / hints.breakdown.aborted.max(1) as f64,
-            traffic_reduction_hints_vs_random: random.traffic.total().max(1) as f64
-                / hints.traffic.total().max(1) as f64,
-        });
-    }
+    // Per app: 1-core Random baseline, then Random/Stealing/Hints on the
+    // coarse version and Hints/LBHints on the best (fine where available)
+    // version, all at the target core count — one flat matrix.
+    let requests: Vec<RunRequest> = args
+        .apps
+        .iter()
+        .flat_map(|&bench| {
+            let cg = AppSpec::coarse(bench);
+            let best_fg = if BenchmarkId::WITH_FINE_GRAIN.contains(&bench) {
+                AppSpec::fine(bench)
+            } else {
+                cg
+            };
+            [
+                (cg, Scheduler::Random, 1),
+                (cg, Scheduler::Random, cores),
+                (cg, Scheduler::Stealing, cores),
+                (cg, Scheduler::Hints, cores),
+                (best_fg, Scheduler::Hints, cores),
+                (best_fg, Scheduler::LbHints, cores),
+            ]
+            .map(|(spec, scheduler, c)| args.request(spec, scheduler, c))
+        })
+        .collect();
+    let all_stats = args.pool().run_matrix(&requests);
+
+    let summaries: Vec<AppSummary> = args
+        .apps
+        .iter()
+        .zip(all_stats.chunks(RUNS_PER_APP))
+        .map(|(&bench, stats)| {
+            let [baseline, random, stealing, hints, hints_fg, lbhints] =
+                [0, 1, 2, 3, 4, 5].map(|i| &stats[i]);
+            AppSummary {
+                app: bench.name().to_string(),
+                cores,
+                random_speedup: random.speedup_over(baseline),
+                stealing_speedup: stealing.speedup_over(baseline),
+                hints_speedup: hints.speedup_over(baseline),
+                hints_fg_speedup: hints_fg.speedup_over(baseline),
+                lbhints_speedup: lbhints.speedup_over(baseline),
+                abort_cycle_reduction_hints_vs_random: random.breakdown.aborted.max(1) as f64
+                    / hints.breakdown.aborted.max(1) as f64,
+                traffic_reduction_hints_vs_random: random.traffic.total().max(1) as f64
+                    / hints.traffic.total().max(1) as f64,
+            }
+        })
+        .collect();
 
     if json {
         println!("{}", to_json_pretty(&summaries));

@@ -8,27 +8,24 @@
 
 use spatial_hints::Scheduler;
 use swarm_apps::AppSpec;
-use swarm_bench::{run_app, HarnessArgs, RunRequest};
+use swarm_bench::{HarnessArgs, RunRequest};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let requests: Vec<RunRequest> = args
+        .apps
+        .iter()
+        .map(|&bench| args.request(AppSpec::coarse(bench), Scheduler::Random, 1))
+        .collect();
+    let all_stats = args.pool().run_matrix(&requests);
+
     println!("Table I: benchmark information (scale: {:?}, seed: {:#x})", args.scale, args.seed);
     println!(
         "{:<8} {:<20} {:<22} {:>14} {:>12} {:>6}  hint pattern",
         "bench", "source", "paper input", "1c run (cyc)", "vs serial", "#fns"
     );
-    for bench in args.apps {
-        let spec = AppSpec::coarse(bench);
-        let app = spec.build(args.scale, args.seed);
-        let num_fns = app.num_task_fns();
-        drop(app);
-        let stats = run_app(RunRequest {
-            spec,
-            scheduler: Scheduler::Random,
-            cores: 1,
-            scale: args.scale,
-            seed: args.seed,
-        });
+    for (&bench, stats) in args.apps.iter().zip(&all_stats) {
+        let num_fns = AppSpec::coarse(bench).build(args.scale, args.seed).num_task_fns();
         // Idealized serial time: the committed work minus queueing overheads
         // is what a tuned serial implementation would execute.
         let serial_estimate = stats.breakdown.committed.max(1);

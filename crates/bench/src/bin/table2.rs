@@ -1,4 +1,7 @@
 //! Table II: configuration of the simulated system.
+//!
+//! This is the one harness binary that runs no simulations (it only prints
+//! the machine parameters), so it takes no sweep or `--jobs` flags.
 
 use swarm_types::SystemConfig;
 

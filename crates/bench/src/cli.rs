@@ -5,10 +5,15 @@
 //! * `--cores 1,4,16,64` — the core counts to sweep (default `1,4,16,64`);
 //! * `--scale tiny|small|medium` — workload size (default `small`);
 //! * `--seed N` — workload seed (default fixed);
-//! * `--apps a,b,c` — restrict to a subset of benchmarks where applicable.
+//! * `--apps a,b,c` — restrict to a subset of benchmarks where applicable;
+//! * `--jobs N` — worker threads for the experiment matrix (default: all
+//!   available hardware threads; `--jobs 1` forces the serial path).
 
 use spatial_hints::Scheduler;
-use swarm_apps::{BenchmarkId, InputScale};
+use swarm_apps::{AppSpec, BenchmarkId, InputScale};
+
+use crate::pool::Pool;
+use crate::runner::RunRequest;
 
 /// Parsed harness options.
 #[derive(Debug, Clone)]
@@ -23,6 +28,11 @@ pub struct HarnessArgs {
     pub apps: Vec<BenchmarkId>,
     /// Schedulers to compare (defaults to Random/Stealing/Hints/LBHints).
     pub schedulers: Vec<Scheduler>,
+    /// Whether `--schedulers` was explicitly passed (so an explicit request
+    /// for the full set is distinguishable from the default).
+    pub schedulers_explicit: bool,
+    /// Worker threads for the experiment matrix (0 = available parallelism).
+    pub jobs: usize,
 }
 
 impl Default for HarnessArgs {
@@ -33,6 +43,8 @@ impl Default for HarnessArgs {
             seed: 0xF1605,
             apps: BenchmarkId::ALL.to_vec(),
             schedulers: Scheduler::ALL.to_vec(),
+            schedulers_explicit: false,
+            jobs: 0,
         }
     }
 }
@@ -84,12 +96,20 @@ impl HarnessArgs {
                         }
                     }
                 }
+                "--jobs" => {
+                    if let Some(v) = it.next() {
+                        if let Ok(jobs) = v.parse() {
+                            parsed.jobs = jobs;
+                        }
+                    }
+                }
                 "--schedulers" => {
                     if let Some(v) = it.next() {
                         let schedulers: Vec<Scheduler> =
                             v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
                         if !schedulers.is_empty() {
                             parsed.schedulers = schedulers;
+                            parsed.schedulers_explicit = true;
                         }
                     }
                 }
@@ -103,6 +123,29 @@ impl HarnessArgs {
     /// which the paper reports at the maximum machine size).
     pub fn max_cores(&self) -> u32 {
         self.cores.iter().copied().max().unwrap_or(1)
+    }
+
+    /// The experiment pool honouring `--jobs`.
+    pub fn pool(&self) -> Pool {
+        Pool::new(self.jobs)
+    }
+
+    /// A request for one simulation point at this invocation's scale and
+    /// seed (what almost every figure matrix is built from).
+    pub fn request(&self, spec: AppSpec, scheduler: Scheduler, cores: u32) -> RunRequest {
+        RunRequest { spec, scheduler, cores, scale: self.scale, seed: self.seed }
+    }
+
+    /// The schedulers to compare, restricted to `figure_default` when the
+    /// user did not pass `--schedulers` (several figures omit LBHints, which
+    /// only appears from Fig. 10 on). An explicit `--schedulers` always
+    /// wins, even when it names the full default set.
+    pub fn schedulers_or(&self, figure_default: &[Scheduler]) -> Vec<Scheduler> {
+        if self.schedulers_explicit {
+            self.schedulers.clone()
+        } else {
+            figure_default.to_vec()
+        }
     }
 }
 
@@ -145,5 +188,28 @@ mod tests {
         let args = HarnessArgs::parse_from(s(&["--wat", "--cores", "x", "--schedulers", "hints"]));
         assert_eq!(args.cores, vec![1, 4, 16, 64]);
         assert_eq!(args.schedulers, vec![Scheduler::Hints]);
+    }
+
+    #[test]
+    fn jobs_flag_selects_pool_size() {
+        let args = HarnessArgs::parse_from(s(&["--jobs", "3"]));
+        assert_eq!(args.jobs, 3);
+        assert_eq!(args.pool().jobs(), 3);
+        // Default (0) resolves to the machine's available parallelism.
+        let auto = HarnessArgs::default();
+        assert_eq!(auto.pool().jobs(), crate::Pool::available_parallelism());
+    }
+
+    #[test]
+    fn schedulers_or_respects_explicit_choice() {
+        let subset = [Scheduler::Random, Scheduler::Hints];
+        assert_eq!(HarnessArgs::default().schedulers_or(&subset), subset.to_vec());
+        let explicit = HarnessArgs::parse_from(s(&["--schedulers", "lbhints"]));
+        assert_eq!(explicit.schedulers_or(&subset), vec![Scheduler::LbHints]);
+        // Explicitly naming the full default set is honoured, not silently
+        // replaced by the figure default.
+        let full = HarnessArgs::parse_from(s(&["--schedulers", "random,stealing,hints,lbhints"]));
+        assert!(full.schedulers_explicit);
+        assert_eq!(full.schedulers_or(&subset), Scheduler::ALL.to_vec());
     }
 }

@@ -1,15 +1,32 @@
-//! Experiment harness: runs the nine benchmarks under the four schedulers
-//! at several core counts and prints the tables and series behind every
-//! figure of the paper's evaluation.
+//! Experiment harness for the reproduction's evaluation (Sections V–VI of
+//! the paper): runs the nine benchmarks under the four schedulers at several
+//! core counts and prints the tables and series behind every figure.
 //!
-//! The harness binaries (one per table/figure, see DESIGN.md's
-//! per-experiment index) are thin wrappers over [`runner`] and [`report`].
+//! The crate splits into three layers:
+//!
+//! * [`runner`] — describing and executing one simulation point
+//!   ([`RunRequest`] → [`swarm_sim::RunStats`]), plus the hand-written
+//!   serial sweep used as the determinism reference;
+//! * [`pool`] — the parallel experiment runner: a dynamic work-sharing
+//!   thread pool ([`Pool`]) that executes whole scheduler × app × core-count
+//!   matrices across OS threads and joins results in deterministic request
+//!   order;
+//! * [`report`] — plain-text table formatting matching the paper's figures.
+//!
+//! The harness binaries (one per table/figure — see `REPRODUCING.md` in the
+//! repository root for the full index) are thin wrappers over these layers,
+//! parameterized by [`HarnessArgs`] (`--cores`, `--scale`, `--seed`,
+//! `--apps`, `--schedulers`, `--jobs`).
+
+#![warn(missing_docs)]
 
 pub mod cli;
+pub mod pool;
 pub mod report;
 pub mod runner;
 
 pub use cli::HarnessArgs;
+pub use pool::{CurveGroup, CurveSpec, LabeledCurve, Pool};
 pub use report::{
     classification_header, format_breakdown_table, format_classification_row, format_speedup_table,
     format_traffic_table, gmean,

@@ -1,0 +1,468 @@
+//! Parallel experiment execution: a shared-cursor work-sharing thread pool
+//! over [`RunRequest`]s.
+//!
+//! The scheduler × app × core-count matrix behind every figure is a set of
+//! *independent, deterministic* simulations (each run draws all randomness
+//! from its own seed), so fanning requests out across OS threads is pure
+//! wall-clock speedup with zero accuracy risk. Workers pull requests from a
+//! shared atomic cursor (dynamic work-sharing, so one slow 64-core point
+//! does not leave the other workers idle behind a static partition), and
+//! results are re-joined **in request order**, which makes the output of
+//! every sweep byte-identical to the serial path — `tests/parallel_runner.rs`
+//! in the workspace root locks this property down.
+//!
+//! All harness binaries construct a [`Pool`] from the `--jobs N` flag (see
+//! [`crate::HarnessArgs`]); the default is the machine's available
+//! parallelism.
+//!
+//! # Example
+//!
+//! ```
+//! use spatial_hints::Scheduler;
+//! use swarm_apps::{AppSpec, BenchmarkId, InputScale};
+//! use swarm_bench::{Pool, RunRequest};
+//!
+//! let pool = Pool::new(2);
+//! let requests: Vec<RunRequest> = [1, 4]
+//!     .iter()
+//!     .map(|&cores| {
+//!         RunRequest::new(
+//!             AppSpec::coarse(BenchmarkId::Sssp),
+//!             Scheduler::Hints,
+//!             cores,
+//!             InputScale::Tiny,
+//!         )
+//!     })
+//!     .collect();
+//! let stats = pool.run_matrix(&requests);
+//! assert_eq!(stats.len(), 2);
+//! assert!(stats[0].runtime_cycles >= stats[1].runtime_cycles);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use spatial_hints::Scheduler;
+use swarm_apps::{AppSpec, InputScale};
+use swarm_sim::RunStats;
+
+use crate::runner::{run_point, ExperimentPoint, RunRequest};
+
+/// One labelled speedup curve to sweep: `(label, app, scheduler)`.
+///
+/// The label is what [`crate::format_speedup_table`] prints as the column
+/// header; app and scheduler identify the simulations to run.
+pub type CurveSpec = (String, AppSpec, Scheduler);
+
+/// A swept curve as the sweeps return it: the label plus one
+/// [`ExperimentPoint`] per core count.
+pub type LabeledCurve = (String, Vec<ExperimentPoint>);
+
+/// One baseline-normalized group of curves: the shared baseline's stats
+/// plus the group's curves (see [`Pool::speedup_curve_groups`]).
+pub type CurveGroup = (RunStats, Vec<LabeledCurve>);
+
+/// A fixed-size pool of OS threads that executes experiment matrices.
+///
+/// The pool itself is trivially cheap to construct (it holds only the job
+/// count; threads are scoped per call), so binaries create one up front from
+/// the parsed arguments and pass it to every sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool running `jobs` requests concurrently. `jobs == 0` means "use
+    /// the machine's available parallelism" (the `--jobs` default).
+    pub fn new(jobs: usize) -> Pool {
+        let jobs = if jobs == 0 { Self::available_parallelism() } else { jobs };
+        Pool { jobs }
+    }
+
+    /// A single-threaded pool: runs every request on the calling thread, in
+    /// request order. The parallel paths are defined to produce byte-identical
+    /// results to this.
+    pub fn serial() -> Pool {
+        Pool { jobs: 1 }
+    }
+
+    /// The number of hardware threads to use by default.
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+
+    /// The number of worker threads this pool uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run every request and return the stats **in request order**,
+    /// regardless of which worker finished which request first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulation fails validation against its serial
+    /// reference (the panic of the failing run is propagated).
+    pub fn run_matrix(&self, requests: &[RunRequest]) -> Vec<RunStats> {
+        self.execute(requests, false)
+    }
+
+    /// Like [`Pool::run_matrix`], with access profiling enabled on every run
+    /// (needed by the Fig. 3 / Fig. 6 classification binaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulation fails validation against its serial
+    /// reference.
+    pub fn run_matrix_profiled(&self, requests: &[RunRequest]) -> Vec<RunStats> {
+        self.execute(requests, true)
+    }
+
+    /// Run a labelled set of requests, preserving labels and order — the
+    /// shape the breakdown/traffic tables consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulation fails validation against its serial
+    /// reference.
+    pub fn run_labeled(&self, entries: Vec<(String, RunRequest)>) -> Vec<(String, RunStats)> {
+        let requests: Vec<RunRequest> = entries.iter().map(|(_, r)| *r).collect();
+        let stats = self.run_matrix(&requests);
+        entries.into_iter().zip(stats).map(|((label, _), s)| (label, s)).collect()
+    }
+
+    /// Sweep core counts for one app/scheduler, with speedups relative to
+    /// the 1-core run of the same configuration (the parallel equivalent of
+    /// [`crate::speedup_curve`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulation fails validation against its serial
+    /// reference.
+    pub fn sweep_cores(
+        &self,
+        spec: AppSpec,
+        scheduler: Scheduler,
+        core_counts: &[u32],
+        scale: InputScale,
+        seed: u64,
+    ) -> Vec<ExperimentPoint> {
+        let series = vec![(String::new(), spec, scheduler)];
+        let mut curves = self.speedup_curves(&series, core_counts, scale, seed);
+        curves.pop().map(|(_, points)| points).unwrap_or_default()
+    }
+
+    /// Sweep several labelled curves at once, each relative to its own
+    /// 1-core baseline. All runs of all curves go through one shared matrix,
+    /// so parallelism is harvested across series as well as within them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulation fails validation against its serial
+    /// reference.
+    pub fn speedup_curves(
+        &self,
+        series: &[CurveSpec],
+        core_counts: &[u32],
+        scale: InputScale,
+        seed: u64,
+    ) -> Vec<LabeledCurve> {
+        // Per series: one 1-core baseline request, then one request per
+        // non-1 core count (1-core entries reuse the baseline stats, exactly
+        // as the serial path does).
+        let mut requests = Vec::new();
+        for &(_, spec, scheduler) in series {
+            requests.push(RunRequest { spec, scheduler, cores: 1, scale, seed });
+            for &cores in core_counts.iter().filter(|&&c| c != 1) {
+                requests.push(RunRequest { spec, scheduler, cores, scale, seed });
+            }
+        }
+        let mut stats = self.run_matrix(&requests).into_iter();
+        series
+            .iter()
+            .map(|(label, spec, scheduler)| {
+                let baseline = stats.next().expect("one baseline per series");
+                let points = core_counts
+                    .iter()
+                    .map(|&cores| {
+                        let request =
+                            RunRequest { spec: *spec, scheduler: *scheduler, cores, scale, seed };
+                        let point_stats = if cores == 1 {
+                            baseline.clone()
+                        } else {
+                            stats.next().expect("one run per non-1 core count")
+                        };
+                        let speedup = point_stats.speedup_over(&baseline);
+                        ExperimentPoint { request, stats: point_stats, speedup }
+                    })
+                    .collect();
+                (label.clone(), points)
+            })
+            .collect()
+    }
+
+    /// Sweep several labelled curves against one *shared* baseline request
+    /// (Fig. 7 normalizes every fine-/coarse-grain series to the coarse
+    /// 1-core run). Returns the baseline stats alongside the curves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulation fails validation against its serial
+    /// reference.
+    pub fn speedup_curves_vs(
+        &self,
+        baseline: RunRequest,
+        series: &[CurveSpec],
+        core_counts: &[u32],
+        scale: InputScale,
+        seed: u64,
+    ) -> CurveGroup {
+        let groups = vec![(baseline, series.to_vec())];
+        self.speedup_curve_groups(&groups, core_counts, scale, seed)
+            .pop()
+            .expect("one group in, one group out")
+    }
+
+    /// Sweep several independent *groups* of curves, each normalized to its
+    /// own shared baseline request, through one flat matrix — so parallelism
+    /// is harvested across groups too (Fig. 7 runs one group per benchmark).
+    /// Returns each group's baseline stats alongside its curves, in group
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulation fails validation against its serial
+    /// reference.
+    pub fn speedup_curve_groups(
+        &self,
+        groups: &[(RunRequest, Vec<CurveSpec>)],
+        core_counts: &[u32],
+        scale: InputScale,
+        seed: u64,
+    ) -> Vec<CurveGroup> {
+        let mut requests = Vec::new();
+        for (baseline, series) in groups {
+            requests.push(*baseline);
+            for &(_, spec, scheduler) in series {
+                for &cores in core_counts {
+                    requests.push(RunRequest { spec, scheduler, cores, scale, seed });
+                }
+            }
+        }
+        let mut stats = self.run_matrix(&requests).into_iter();
+        groups
+            .iter()
+            .map(|(_, series)| {
+                let baseline_stats = stats.next().expect("one baseline per group");
+                let curves = series
+                    .iter()
+                    .map(|(label, spec, scheduler)| {
+                        let points = core_counts
+                            .iter()
+                            .map(|&cores| {
+                                let request = RunRequest {
+                                    spec: *spec,
+                                    scheduler: *scheduler,
+                                    cores,
+                                    scale,
+                                    seed,
+                                };
+                                let point_stats =
+                                    stats.next().expect("one run per series per core count");
+                                let speedup = point_stats.speedup_over(&baseline_stats);
+                                ExperimentPoint { request, stats: point_stats, speedup }
+                            })
+                            .collect();
+                        (label.clone(), points)
+                    })
+                    .collect();
+                (baseline_stats, curves)
+            })
+            .collect()
+    }
+
+    /// Deduplicate, then execute: several figures legitimately ask for the
+    /// same point more than once (e.g. `summary` queries Hints on both the
+    /// "coarse" and "best" version of apps that have no fine-grain variant).
+    /// Runs are deterministic, so one simulation serves every duplicate
+    /// slot — results still come back one per request, in request order.
+    fn execute(&self, requests: &[RunRequest], profiled: bool) -> Vec<RunStats> {
+        let mut first_of: HashMap<RunRequest, usize> = HashMap::new();
+        let mut unique: Vec<RunRequest> = Vec::new();
+        let slots: Vec<usize> = requests
+            .iter()
+            .map(|&r| {
+                *first_of.entry(r).or_insert_with(|| {
+                    unique.push(r);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+        let unique_stats = self.execute_unique(&unique, profiled);
+        slots.into_iter().map(|i| unique_stats[i].clone()).collect()
+    }
+
+    /// Dynamic work-sharing execution: workers pull the next unclaimed
+    /// request index from a shared cursor (so one slow point never idles
+    /// the rest behind a static partition) and stash `(index, stats)` pairs
+    /// locally; the caller re-joins them into request order.
+    ///
+    /// Fail-fast: a validation-failure panic in one worker raises a flag
+    /// that stops the other workers at their next pull, so the matrix
+    /// aborts promptly (as the serial path does) instead of draining every
+    /// remaining point first.
+    fn execute_unique(&self, requests: &[RunRequest], profiled: bool) -> Vec<RunStats> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.jobs.min(requests.len());
+        if workers <= 1 {
+            return requests.iter().map(|&r| run_point(r, profiled)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let mut slots: Vec<Option<RunStats>> = vec![None; requests.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        while !failed.load(Ordering::Relaxed) {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&request) = requests.get(i) else { break };
+                            let run =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_point(request, profiled)
+                                }));
+                            match run {
+                                Ok(stats) => local.push((i, stats)),
+                                Err(payload) => {
+                                    failed.store(true, Ordering::Relaxed);
+                                    return Err(payload);
+                                }
+                            }
+                        }
+                        Ok(local)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join().unwrap_or_else(Err) {
+                    Ok(local) => {
+                        for (i, stats) in local {
+                            slots[i] = Some(stats);
+                        }
+                    }
+                    // A worker panicking means a simulation failed
+                    // validation; surface that, not a join error.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        slots.into_iter().map(|s| s.expect("every request index was claimed")).collect()
+    }
+}
+
+impl Default for Pool {
+    /// The default pool uses all available hardware threads.
+    fn default() -> Self {
+        Pool::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_apps::BenchmarkId;
+
+    fn request(cores: u32) -> RunRequest {
+        RunRequest::new(
+            AppSpec::coarse(BenchmarkId::Sssp),
+            Scheduler::Hints,
+            cores,
+            InputScale::Tiny,
+        )
+    }
+
+    #[test]
+    fn zero_jobs_means_available_parallelism() {
+        assert_eq!(Pool::new(0).jobs(), Pool::available_parallelism());
+        assert_eq!(Pool::serial().jobs(), 1);
+        assert_eq!(Pool::new(3).jobs(), 3);
+    }
+
+    #[test]
+    fn empty_matrix_is_empty() {
+        assert!(Pool::new(4).run_matrix(&[]).is_empty());
+    }
+
+    #[test]
+    fn matrix_results_are_in_request_order() {
+        let requests = vec![request(4), request(1), request(2)];
+        let stats = Pool::new(3).run_matrix(&requests);
+        assert_eq!(stats.len(), 3);
+        for (req, s) in requests.iter().zip(&stats) {
+            assert_eq!(s.cores, req.cores as usize);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let requests = vec![request(1), request(2), request(4), request(8)];
+        let serial = Pool::serial().run_matrix(&requests);
+        let parallel = Pool::new(4).run_matrix(&requests);
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    }
+
+    #[test]
+    fn duplicate_requests_are_deduplicated_but_all_answered() {
+        let requests = vec![request(2), request(4), request(2), request(2)];
+        let stats = Pool::new(2).run_matrix(&requests);
+        assert_eq!(stats.len(), 4);
+        // Duplicates get the same (deterministic) result as their first
+        // occurrence.
+        assert_eq!(format!("{:?}", stats[0]), format!("{:?}", stats[2]));
+        assert_eq!(format!("{:?}", stats[0]), format!("{:?}", stats[3]));
+        assert_eq!(stats[1].cores, 4);
+    }
+
+    #[test]
+    fn labeled_runs_keep_their_labels() {
+        let entries = vec![("a".to_string(), request(1)), ("b".to_string(), request(2))];
+        let out = Pool::new(2).run_labeled(entries);
+        assert_eq!(out[0].0, "a");
+        assert_eq!(out[1].0, "b");
+        assert_eq!(out[1].1.cores, 2);
+    }
+
+    #[test]
+    fn sweep_cores_matches_serial_speedup_curve() {
+        let spec = AppSpec::coarse(BenchmarkId::Des);
+        let cores = [1, 2, 4];
+        let serial =
+            crate::runner::speedup_curve(spec, Scheduler::Hints, &cores, InputScale::Tiny, 7);
+        let parallel =
+            Pool::new(4).sweep_cores(spec, Scheduler::Hints, &cores, InputScale::Tiny, 7);
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    }
+
+    #[test]
+    fn shared_baseline_curves_normalize_to_it() {
+        let spec = AppSpec::coarse(BenchmarkId::Bfs);
+        let baseline = RunRequest::new(spec, Scheduler::Hints, 1, InputScale::Tiny);
+        let series = vec![("H".to_string(), spec, Scheduler::Hints)];
+        let (baseline_stats, curves) =
+            Pool::new(2).speedup_curves_vs(baseline, &series, &[1, 4], InputScale::Tiny, 0xF1605);
+        // The 1-core point of the same config is the baseline re-run, so its
+        // speedup is exactly 1.
+        assert_eq!(baseline_stats.runtime_cycles, curves[0].1[0].stats.runtime_cycles);
+        assert!((curves[0].1[0].speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiled_matrix_collects_accesses() {
+        let stats = Pool::new(2).run_matrix_profiled(&[request(2), request(4)]);
+        assert!(stats.iter().all(|s| !s.committed_accesses.is_empty()));
+    }
+}

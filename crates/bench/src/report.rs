@@ -119,7 +119,8 @@ pub fn classification_header() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{run_app, RunRequest};
+    use crate::pool::Pool;
+    use crate::runner::RunRequest;
     use spatial_hints::Scheduler;
     use swarm_apps::{AppSpec, BenchmarkId, InputScale};
 
@@ -133,17 +134,34 @@ mod tests {
 
     #[test]
     fn breakdown_and_traffic_tables_render() {
-        let stats = run_app(RunRequest::new(
-            AppSpec::coarse(BenchmarkId::Nocsim),
-            Scheduler::Random,
-            4,
-            InputScale::Tiny,
-        ));
-        let b = format_breakdown_table(&[("Random".to_string(), stats.clone())]);
+        let entries = Pool::new(2).run_labeled(vec![(
+            "Random".to_string(),
+            RunRequest::new(
+                AppSpec::coarse(BenchmarkId::Nocsim),
+                Scheduler::Random,
+                4,
+                InputScale::Tiny,
+            ),
+        )]);
+        let b = format_breakdown_table(&entries);
         assert!(b.contains("Random"));
         assert!(b.contains("commit"));
-        let t = format_traffic_table(&[("Random".to_string(), stats)]);
+        let t = format_traffic_table(&entries);
         assert!(t.contains("gvt"));
+    }
+
+    #[test]
+    fn speedup_table_renders_pool_curves() {
+        let curves = Pool::new(2).speedup_curves(
+            &[("Hints".to_string(), AppSpec::coarse(BenchmarkId::Nocsim), Scheduler::Hints)],
+            &[1, 4],
+            InputScale::Tiny,
+            0xF1605,
+        );
+        let table = format_speedup_table(&curves);
+        assert!(table.contains("cores"));
+        assert!(table.contains("Hints"));
+        assert_eq!(table.lines().count(), 3, "header + one row per core count");
     }
 
     #[test]

@@ -6,7 +6,10 @@ use swarm_sim::{Engine, RunStats};
 use swarm_types::SystemConfig;
 
 /// Everything needed to run one simulation point.
-#[derive(Debug, Clone, Copy)]
+///
+/// Equal requests produce equal results (runs are deterministic), which is
+/// what lets [`crate::Pool`] deduplicate repeated points inside a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunRequest {
     /// Which application (and granularity).
     pub spec: AppSpec,
@@ -46,7 +49,7 @@ pub struct ExperimentPoint {
 /// Panics if the simulation fails validation against the serial reference —
 /// an experiment must never silently report numbers from a wrong execution.
 pub fn run_app(request: RunRequest) -> RunStats {
-    run_inner(request, false)
+    run_point(request, false)
 }
 
 /// Run one point with access profiling enabled (needed for Fig. 3 / Fig. 6).
@@ -55,10 +58,12 @@ pub fn run_app(request: RunRequest) -> RunStats {
 ///
 /// Panics if the simulation fails validation against the serial reference.
 pub fn run_app_profiled(request: RunRequest) -> RunStats {
-    run_inner(request, true)
+    run_point(request, true)
 }
 
-fn run_inner(request: RunRequest, profiled: bool) -> RunStats {
+/// Shared single-point entry used by both the serial helpers above and the
+/// thread-pool workers in [`crate::Pool`].
+pub(crate) fn run_point(request: RunRequest, profiled: bool) -> RunStats {
     let cfg = SystemConfig::with_cores(request.cores);
     let app = request.spec.build(request.scale, request.seed);
     let mapper = request.scheduler.build(&cfg);
@@ -78,6 +83,10 @@ fn run_inner(request: RunRequest, profiled: bool) -> RunStats {
 
 /// Sweep core counts for one app/scheduler and return speedups relative to
 /// the 1-core run of the same configuration.
+///
+/// This is the hand-written *serial reference path*: [`crate::Pool`] sweeps
+/// are defined to produce byte-identical results to it at any `--jobs`
+/// level, and `tests/parallel_runner.rs` compares the two.
 pub fn speedup_curve(
     spec: AppSpec,
     scheduler: Scheduler,

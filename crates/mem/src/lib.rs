@@ -1,6 +1,8 @@
 //! Simulated memory system for the Swarm spatial-hints reproduction.
 //!
-//! Two independent pieces live here:
+//! This models the memory side of the baseline architecture (paper
+//! Section II and the hierarchy rows of Table II). Two independent pieces
+//! live here:
 //!
 //! * [`SimMemory`]: a word-addressed store holding all mutable shared state
 //!   of an application, with undo records so the speculation layer can roll
@@ -22,6 +24,8 @@
 //! assert_eq!(old, 0);
 //! assert_eq!(mem.load(0x100), 7);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod layout;

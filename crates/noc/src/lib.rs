@@ -1,5 +1,6 @@
 //! On-chip network model: a 2D mesh with X-Y routing, per-hop latencies and
-//! flit-level traffic accounting by message class.
+//! flit-level traffic accounting by message class (paper Table II for the
+//! mesh parameters, Fig. 5b / Fig. 8b for the traffic categories).
 //!
 //! The paper's machine uses a 16×16 mesh of 128-bit links with X-Y routing,
 //! one cycle per hop when going straight and two on turns (Table II). The

@@ -19,6 +19,8 @@
 //! assert!((tile.0 as usize) < cfg.num_tiles());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod error;
 pub mod hashing;

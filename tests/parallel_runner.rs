@@ -1,0 +1,97 @@
+//! Determinism of the parallel experiment runner: a multi-threaded sweep
+//! must produce **byte-identical** `ExperimentPoint` results (stats,
+//! speedups, ordering) to the single-threaded path, for it to be safe to
+//! regenerate the paper's figures at any `--jobs` level.
+//!
+//! Every simulated run draws all randomness from its own seed, so the only
+//! way parallelism could change results is through result *reassembly* —
+//! which is exactly what these tests pin down, across two apps × two
+//! schedulers (an ordered and an unordered benchmark, a hint-based and a
+//! hint-oblivious scheduler).
+
+use spatial_hints::Scheduler;
+use swarm_apps::{AppSpec, BenchmarkId, InputScale};
+use swarm_bench::{format_speedup_table, speedup_curve, CurveSpec, Pool, RunRequest};
+
+const APPS: [BenchmarkId; 2] = [BenchmarkId::Sssp, BenchmarkId::Kmeans];
+const SCHEDULERS: [Scheduler; 2] = [Scheduler::Random, Scheduler::Hints];
+const CORES: [u32; 3] = [1, 2, 4];
+const SEED: u64 = 0xF1605;
+
+/// The full two-app × two-scheduler curve set.
+fn series() -> Vec<CurveSpec> {
+    APPS.iter()
+        .flat_map(|&app| {
+            SCHEDULERS.iter().map(move |&s| {
+                (format!("{}-{}", app.name(), s.short_label()), AppSpec::coarse(app), s)
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn multi_threaded_sweep_is_byte_identical_to_jobs_1() {
+    let series = series();
+    let serial = Pool::new(1).speedup_curves(&series, &CORES, InputScale::Tiny, SEED);
+    let parallel = Pool::new(4).speedup_curves(&series, &CORES, InputScale::Tiny, SEED);
+
+    // Byte-identical ExperimentPoints: requests, full stats (cycle
+    // breakdowns, traffic, per-tile counters) and speedups, in order.
+    assert_eq!(format!("{serial:#?}"), format!("{parallel:#?}"));
+
+    // And the rendered figure output is byte-identical too.
+    assert_eq!(format_speedup_table(&serial), format_speedup_table(&parallel));
+}
+
+#[test]
+fn pool_sweep_matches_the_hand_written_serial_reference() {
+    for &app in &APPS {
+        for &scheduler in &SCHEDULERS {
+            let spec = AppSpec::coarse(app);
+            let reference = speedup_curve(spec, scheduler, &CORES, InputScale::Tiny, SEED);
+            let pooled = Pool::new(4).sweep_cores(spec, scheduler, &CORES, InputScale::Tiny, SEED);
+            assert_eq!(
+                format!("{reference:#?}"),
+                format!("{pooled:#?}"),
+                "{} under {scheduler} diverged from the serial reference",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn run_matrix_preserves_request_order_under_contention() {
+    // More requests than workers, deliberately shuffled core counts, so
+    // the shared-cursor dispatch must reorder execution — results must not
+    // reorder.
+    let requests: Vec<RunRequest> = [4, 1, 2, 8, 2, 1, 4, 8]
+        .iter()
+        .map(|&cores| {
+            RunRequest::new(
+                AppSpec::coarse(BenchmarkId::Sssp),
+                Scheduler::Hints,
+                cores,
+                InputScale::Tiny,
+            )
+        })
+        .collect();
+    let serial = Pool::new(1).run_matrix(&requests);
+    let parallel = Pool::new(3).run_matrix(&requests);
+    for ((req, s), p) in requests.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(s.cores, req.cores as usize);
+        assert_eq!(format!("{s:?}"), format!("{p:?}"));
+    }
+}
+
+#[test]
+fn profiled_matrix_is_deterministic_across_jobs() {
+    let requests: Vec<RunRequest> = APPS
+        .iter()
+        .map(|&app| RunRequest::new(AppSpec::coarse(app), Scheduler::Hints, 4, InputScale::Tiny))
+        .collect();
+    let serial = Pool::new(1).run_matrix_profiled(&requests);
+    let parallel = Pool::new(2).run_matrix_profiled(&requests);
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    assert!(serial.iter().all(|s| !s.committed_accesses.is_empty()));
+}
