@@ -84,6 +84,34 @@ fn bench_memory_substrate(c: &mut Criterion) {
             black_box(lru.insert(i % 16384))
         })
     });
+    c.bench_function("lru_set_touch_hot", |b| {
+        // Steady-state touch of a full set: the dominant L1/L2 operation on
+        // every cache hit.
+        let mut lru = LruSet::new(4096);
+        for i in 0..4096u64 {
+            lru.insert(i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(lru.touch(i % 4096))
+        })
+    });
+    c.bench_function("sim_memory_load_store", |b| {
+        // A read-modify-write over a warmed working set: the paged backing
+        // store's steady-state load/store path.
+        let mut mem = SimMemory::new();
+        for i in 0..8192u64 {
+            mem.store(i * 8, i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let addr = (i % 8192) * 8;
+            let value = mem.load(addr);
+            black_box(mem.store(addr, value.wrapping_add(1)))
+        })
+    });
     let _ = TileId(0);
 }
 

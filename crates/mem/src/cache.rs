@@ -9,12 +9,18 @@
 //! which tiles had to be invalidated?* The simulator combines the answer with
 //! the mesh model to charge cycles and network flits, so this crate stays
 //! independent of the network topology.
-
-use std::collections::HashMap;
+//!
+//! This is the hottest code in the simulator (every speculative load/store
+//! funnels through [`CacheModel::access`]), so the directory is an
+//! open-addressed table keyed by a single [`swarm_types::fast_mix64`] hash,
+//! sharer masks are walked with `trailing_zeros`, and invalidation lists are
+//! returned inline ([`TileList`]) — a steady-state access performs no heap
+//! allocation.
 
 use swarm_types::{CacheConfig, CoreId, LineAddr, TileId};
 
 use crate::lru::LruSet;
+use crate::table::{OpenTable, Probe};
 
 /// Whether an access reads or writes the line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,6 +56,99 @@ pub enum HitLevel {
     },
 }
 
+/// Number of invalidated tiles an [`AccessOutcome`] can report without heap
+/// allocation. Writes rarely invalidate more than a couple of sharers; longer
+/// lists (wide read-sharing, or alias groups on >64-tile meshes) spill.
+const INLINE_TILES: usize = 6;
+
+/// A small list of [`TileId`]s stored inline up to `INLINE_TILES` entries.
+///
+/// This exists so [`CacheModel::access`] can report invalidations without
+/// allocating on every write. Dereferences to `[TileId]` for iteration and
+/// comparison.
+#[derive(Debug, Clone)]
+pub struct TileList(TileListRepr);
+
+#[derive(Debug, Clone)]
+enum TileListRepr {
+    Inline { len: u8, tiles: [TileId; INLINE_TILES] },
+    Heap(Vec<TileId>),
+}
+
+impl TileList {
+    /// Create an empty list (no allocation).
+    pub fn new() -> Self {
+        TileList(TileListRepr::Inline { len: 0, tiles: [TileId(0); INLINE_TILES] })
+    }
+
+    /// Append a tile, spilling to the heap past `INLINE_TILES` entries.
+    pub fn push(&mut self, tile: TileId) {
+        match &mut self.0 {
+            TileListRepr::Inline { len, tiles } => {
+                if (*len as usize) < INLINE_TILES {
+                    tiles[*len as usize] = tile;
+                    *len += 1;
+                } else {
+                    let mut vec = Vec::with_capacity(INLINE_TILES * 2);
+                    vec.extend_from_slice(&tiles[..]);
+                    vec.push(tile);
+                    self.0 = TileListRepr::Heap(vec);
+                }
+            }
+            TileListRepr::Heap(vec) => vec.push(tile),
+        }
+    }
+
+    /// The tiles as a slice.
+    pub fn as_slice(&self) -> &[TileId] {
+        match &self.0 {
+            TileListRepr::Inline { len, tiles } => &tiles[..*len as usize],
+            TileListRepr::Heap(vec) => vec,
+        }
+    }
+}
+
+impl Default for TileList {
+    fn default() -> Self {
+        TileList::new()
+    }
+}
+
+impl std::ops::Deref for TileList {
+    type Target = [TileId];
+
+    fn deref(&self) -> &[TileId] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for TileList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TileList {}
+
+impl<'a> IntoIterator for &'a TileList {
+    type Item = &'a TileId;
+    type IntoIter = std::slice::Iter<'a, TileId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<TileId> for TileList {
+    fn from_iter<I: IntoIterator<Item = TileId>>(iter: I) -> Self {
+        let mut list = TileList::new();
+        for tile in iter {
+            list.push(tile);
+        }
+        list
+    }
+}
+
 /// Result of one access against the cache model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccessOutcome {
@@ -58,20 +157,86 @@ pub struct AccessOutcome {
     /// Cache-array latency in cycles (network latency not included).
     pub base_latency: u64,
     /// Tiles whose copies had to be invalidated (writes only).
-    pub invalidated: Vec<TileId>,
+    pub invalidated: TileList,
     /// Whether the access left the requesting tile (used for traffic).
     pub remote: bool,
 }
 
-#[derive(Debug, Clone, Default)]
+/// Per-line directory state.
+///
+/// # Coarse sharer tracking beyond 64 tiles
+///
+/// `sharers` has one bit per tile for meshes of up to 64 tiles (the paper's
+/// largest machine). On larger meshes, tile `t` maps to bit `t % 64`, so a
+/// bit stands for the whole *alias group* `{b, b + 64, b + 128, ...}`: the
+/// directory only knows that *some* tile of the group holds a copy. All
+/// operations treat a set bit conservatively — writes invalidate every tile
+/// of the group, and cache-to-cache forwarding picks the lowest-indexed
+/// group member — which keeps coherence decisions correct (no stale copy
+/// survives) at the cost of extra invalidation traffic, exactly like a
+/// coarse-vector directory.
+#[derive(Debug, Clone, Copy, Default)]
 struct LineDir {
-    /// Tiles holding a copy (bit per tile; the model supports <= 64 tiles,
-    /// larger meshes fall back to coarse tracking of the low 64 tiles).
+    /// Tiles holding a copy (bit per alias group of tiles; see above).
     sharers: u64,
-    /// Tile holding the line in modified state, if any.
+    /// Tile holding the line in modified state, if any (always exact).
     owner: Option<TileId>,
     /// Whether the line is present in the L3.
     in_l3: bool,
+}
+
+/// Open-addressed directory: line address -> [`LineDir`], on the shared
+/// [`OpenTable`] core (load factor <= 0.5). Entries are 24 bytes and stored
+/// flat, so a steady-state lookup is one hash, one probe and no pointer
+/// chasing — this replaces the seed's `HashMap<LineAddr, LineDir>`, which
+/// re-hashed every line with SipHash twice per access.
+#[derive(Debug, Clone)]
+struct DirTable {
+    table: OpenTable<LineDir>,
+    len: usize,
+}
+
+impl DirTable {
+    fn new() -> Self {
+        DirTable { table: OpenTable::new(1024, LineDir::default()), len: 0 }
+    }
+
+    /// Entry position for `key`, default-inserting it if absent; returns the
+    /// position and the value the entry held *before* any insertion (the
+    /// snapshot an access reasons about). One probe serves both the snapshot
+    /// read and the directory update; the position stays valid as long as no
+    /// other entry is inserted or removed.
+    #[inline]
+    fn entry_snapshot(&mut self, key: u64) -> (usize, LineDir) {
+        let pos = match self.table.probe(key) {
+            Probe::Found(pos) => return (pos, self.table.val_at(pos)),
+            Probe::Vacant(pos) => pos,
+        };
+        let pos = if (self.len + 1) * 2 > self.table.slots() {
+            self.table.grow(LineDir::default());
+            match self.table.probe(key) {
+                Probe::Vacant(pos) => pos,
+                Probe::Found(_) => unreachable!("key cannot appear during growth"),
+            }
+        } else {
+            pos
+        };
+        self.table.occupy(pos, key, LineDir::default());
+        self.len += 1;
+        (pos, LineDir::default())
+    }
+
+    #[inline]
+    fn val_at_mut(&mut self, pos: usize) -> &mut LineDir {
+        self.table.val_at_mut(pos)
+    }
+
+    fn remove(&mut self, key: u64) {
+        if let Probe::Found(pos) = self.table.probe(key) {
+            self.table.remove_at(pos);
+            self.len -= 1;
+        }
+    }
 }
 
 /// The cache hierarchy model.
@@ -93,11 +258,14 @@ struct LineDir {
 pub struct CacheModel {
     cfg: CacheConfig,
     cores_per_tile: u32,
+    /// `log2(cores_per_tile)` when it is a power of two (it always is on the
+    /// paper's machines): turns the per-access core->tile divide into a shift.
+    tile_shift: Option<u32>,
     num_tiles: usize,
     l1: Vec<LruSet>,
     l2: Vec<LruSet>,
     l3: Vec<LruSet>,
-    dir: HashMap<LineAddr, LineDir>,
+    dir: DirTable,
     accesses: u64,
     l1_hits: u64,
     l2_hits: u64,
@@ -120,8 +288,9 @@ impl CacheModel {
             l1: (0..num_cores).map(|_| LruSet::new(cfg.l1_lines.max(1))).collect(),
             l2: (0..num_tiles).map(|_| LruSet::new(cfg.l2_lines.max(1))).collect(),
             l3: (0..num_tiles).map(|_| LruSet::new(cfg.l3_lines_per_tile.max(1))).collect(),
-            dir: HashMap::new(),
+            dir: DirTable::new(),
             cfg,
+            tile_shift: cores_per_tile.is_power_of_two().then(|| cores_per_tile.trailing_zeros()),
             cores_per_tile,
             num_tiles,
             accesses: 0,
@@ -139,18 +308,33 @@ impl CacheModel {
     }
 
     fn tile_of(&self, core: CoreId) -> TileId {
-        core.tile(self.cores_per_tile)
+        match self.tile_shift {
+            Some(shift) => TileId(core.0 >> shift),
+            None => core.tile(self.cores_per_tile),
+        }
     }
 
     fn sharer_bit(tile: TileId) -> u64 {
         1u64 << (tile.index() as u64 % 64)
     }
 
-    fn sharer_tiles(&self, mask: u64, exclude: TileId) -> Vec<TileId> {
-        (0..self.num_tiles.min(64))
-            .filter(|&t| t != exclude.index() && (mask >> t) & 1 == 1)
-            .map(|t| TileId(t as u32))
-            .collect()
+    /// First tile other than `exclude` with its alias-group bit set in
+    /// `mask`, walking set bits with `trailing_zeros` (lowest tile first; on
+    /// <= 64-tile meshes alias groups are singletons, so this is exact).
+    fn dir_first_other_sharer(&self, mask: u64, exclude: TileId) -> Option<TileId> {
+        let mut bits = mask;
+        while bits != 0 {
+            let bit = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let mut t = bit;
+            while t < self.num_tiles {
+                if t != exclude.index() {
+                    return Some(TileId(t as u32));
+                }
+                t += 64;
+            }
+        }
+        None
     }
 
     /// Perform one access from `core` to `line` and report where it was
@@ -161,10 +345,18 @@ impl CacheModel {
         let key = line.0;
 
         let l1_hit = self.l1[core.index()].touch(key);
-        let l2_hit = l1_hit || self.l2[tile.index()].touch(key);
+        // The seed short-circuited the L2 touch on an L1 hit; keep that
+        // order (the L2 recency is then only refreshed by the fill below).
+        let l2_touch_hit = !l1_hit && self.l2[tile.index()].touch(key);
+        let l2_hit = l1_hit || l2_touch_hit;
 
-        let dir_snapshot = self.dir.get(&line).cloned().unwrap_or_default();
-        let home = TileId(swarm_types::hash_to_range(line.0, self.num_tiles) as u32);
+        // One directory probe yields both the pre-access snapshot and the
+        // entry position for the update at the end of the access.
+        let (dir_pos, dir_snapshot) = self.dir.entry_snapshot(key);
+        // The home tile is derived from the paper's line hash (hash64, not
+        // fast_mix64: simulated-architecture decisions must stay
+        // bit-identical) and computed exactly once per access.
+        let home = TileId(swarm_types::hash_to_range(key, self.num_tiles) as u32);
 
         // Determine where the data is found.
         let (level, base_latency, remote) = if l1_hit {
@@ -206,22 +398,35 @@ impl CacheModel {
             }
         };
 
-        // Writes invalidate every other tile's copy.
-        let mut invalidated = Vec::new();
+        // Writes invalidate every other tile's copy. Walk the set bits of the
+        // sharer mask directly; each bit covers its whole alias group (see
+        // [`LineDir`]), so tiles >= 64 are invalidated too.
+        let mut invalidated = TileList::new();
         if kind == AccessKind::Write {
-            let others = self.sharer_tiles(dir_snapshot.sharers, tile);
-            for other in &others {
-                self.l2[other.index()].remove(key);
-                let first_core = other.index() * self.cores_per_tile as usize;
-                for c in first_core..first_core + self.cores_per_tile as usize {
-                    self.l1[c].remove(key);
+            let cores_per_tile = self.cores_per_tile as usize;
+            let mut bits = dir_snapshot.sharers;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let mut t = bit;
+                while t < self.num_tiles {
+                    if t != tile.index() {
+                        self.l2[t].remove(key);
+                        let first_core = t * cores_per_tile;
+                        for c in first_core..first_core + cores_per_tile {
+                            self.l1[c].remove(key);
+                        }
+                        invalidated.push(TileId(t as u32));
+                    }
+                    t += 64;
                 }
             }
-            invalidated = others;
         }
 
-        // Update directory and fill caches along the way.
-        let dir = self.dir.entry(line).or_default();
+        // Update directory and fill caches along the way. `dir_pos` is still
+        // valid: nothing was inserted into or removed from the directory
+        // since the snapshot probe.
+        let dir = self.dir.val_at_mut(dir_pos);
         match kind {
             AccessKind::Read => {
                 dir.sharers |= Self::sharer_bit(tile);
@@ -237,16 +442,16 @@ impl CacheModel {
         }
         dir.in_l3 = true;
         self.l3[home.index()].insert(key);
-        self.l2[tile.index()].insert(key);
-        self.l1[core.index()].insert(key);
+        // A level that served the access via `touch` was already promoted to
+        // most-recently-used; re-inserting would be a redundant second probe.
+        if !l2_touch_hit {
+            self.l2[tile.index()].insert(key);
+        }
+        if !l1_hit {
+            self.l1[core.index()].insert(key);
+        }
 
         AccessOutcome { level, base_latency, invalidated, remote }
-    }
-
-    fn dir_first_other_sharer(&self, mask: u64, exclude: TileId) -> Option<TileId> {
-        (0..self.num_tiles.min(64))
-            .find(|&t| t != exclude.index() && (mask >> t) & 1 == 1)
-            .map(|t| TileId(t as u32))
     }
 
     /// Drop a line from every cache and the directory. Used when the
@@ -262,7 +467,7 @@ impl CacheModel {
         for l3 in &mut self.l3 {
             l3.remove(key);
         }
-        self.dir.remove(&line);
+        self.dir.remove(key);
     }
 
     /// Total number of accesses observed.
@@ -323,7 +528,7 @@ mod tests {
         m.access(CoreId(0), line, AccessKind::Read); // tile 0 shares
         m.access(CoreId(4), line, AccessKind::Read); // tile 1 shares
         let w = m.access(CoreId(8), line, AccessKind::Write); // tile 2 writes
-        let mut inv = w.invalidated.clone();
+        let mut inv = w.invalidated.to_vec();
         inv.sort();
         assert_eq!(inv, vec![TileId(0), TileId(1)]);
         // After the invalidation, tile 0 re-reads remotely from tile 2.
@@ -379,5 +584,75 @@ mod tests {
         }
         let (a, b, c, d, e) = m.hit_counters();
         assert_eq!(a + b + c + d + e, m.access_count());
+    }
+
+    #[test]
+    fn tile_list_inline_and_spilled_compare_equal() {
+        let mut inline = TileList::new();
+        assert!(inline.is_empty());
+        inline.push(TileId(3));
+        assert_eq!(inline.as_slice(), &[TileId(3)]);
+        // Push past the inline capacity to force a heap spill.
+        let many: Vec<TileId> = (0..INLINE_TILES as u32 + 4).map(TileId).collect();
+        let spilled: TileList = many.iter().copied().collect();
+        assert_eq!(spilled.as_slice(), many.as_slice());
+        assert_eq!(spilled, many.iter().copied().collect::<TileList>());
+        assert_eq!(spilled.len(), INLINE_TILES + 4);
+    }
+
+    /// Regression test for the >64-tile directory bug: on an 8x16 mesh
+    /// (128 tiles), tile 70 aliases tile 6 in the sharer mask (70 % 64 == 6).
+    /// The seed scanned only tiles 0..64 when collecting sharers, so tile 70
+    /// was never invalidated and never found as a forwarder.
+    #[test]
+    fn tiles_beyond_64_are_invalidated_and_forward() {
+        let mut m = CacheModel::new(CacheConfig::default(), 128, 1);
+        let line = LineAddr(1000);
+
+        // Tile 70 reads the line; its alias-group bit (6) is set.
+        m.access(CoreId(70), line, AccessKind::Read);
+
+        // A reader on another tile must find a forwarder in the alias group.
+        let r = m.access(CoreId(0), line, AccessKind::Read);
+        match r.level {
+            HitLevel::RemoteL2 { owner } => {
+                assert!(
+                    owner.index() % 64 == 6,
+                    "forwarder {owner} is not in tile 70's alias group"
+                )
+            }
+            other => panic!("expected a remote forward, got {other:?}"),
+        }
+
+        // A writer on tile 1 must invalidate the whole alias group, tile 70
+        // included (tile 0 read above, so group 0 is invalidated too).
+        let w = m.access(CoreId(1), line, AccessKind::Write);
+        assert!(
+            w.invalidated.contains(&TileId(70)),
+            "tile 70 not invalidated: {:?}",
+            w.invalidated.as_slice()
+        );
+        assert!(w.invalidated.contains(&TileId(6)), "alias group member 6 must be invalidated");
+        assert!(w.invalidated.contains(&TileId(0)));
+
+        // Tile 70's copy is gone: its next read must leave the tile.
+        let r = m.access(CoreId(70), line, AccessKind::Read);
+        assert!(r.remote, "tile 70 still had a local copy after invalidation");
+        assert_eq!(r.level, HitLevel::RemoteL2 { owner: TileId(1) });
+    }
+
+    /// On <= 64-tile meshes alias groups are singletons, so coarse tracking
+    /// degenerates to the exact per-tile behavior.
+    #[test]
+    fn alias_groups_are_exact_below_64_tiles() {
+        let mut m = CacheModel::new(CacheConfig::default(), 64, 1);
+        let line = LineAddr(4242);
+        for t in [0u32, 5, 63] {
+            m.access(CoreId(t), line, AccessKind::Read);
+        }
+        let w = m.access(CoreId(7), line, AccessKind::Write);
+        let mut inv = w.invalidated.to_vec();
+        inv.sort();
+        assert_eq!(inv, vec![TileId(0), TileId(5), TileId(63)]);
     }
 }

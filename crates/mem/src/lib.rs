@@ -31,6 +31,7 @@ pub mod cache;
 pub mod layout;
 pub mod lru;
 pub mod memory;
+pub(crate) mod table;
 
 pub use cache::{AccessKind, AccessOutcome, CacheModel, HitLevel};
 pub use layout::{AddressSpace, Region};

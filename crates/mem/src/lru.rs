@@ -1,23 +1,45 @@
 //! A small LRU set used to model finite cache capacities.
 
-use std::collections::HashMap;
+use crate::table::{OpenTable, Probe};
+
+/// Sentinel key value; `u64::MAX` is rejected by [`LruSet::insert`] because
+/// it is the open-addressed index's empty-slot marker.
+const NONE: u64 = u64::MAX;
+
+/// Sentinel slab slot ("no node").
+const NIL: u32 = u32::MAX;
+
+/// One slab node of the intrusive recency list.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    prev: u32,
+    next: u32,
+}
 
 /// A fixed-capacity set of `u64` keys with least-recently-used eviction.
 ///
 /// The cache model uses one `LruSet` per L1, per L2 and per L3 slice to
-/// decide whether a line is present at each level. The implementation is a
-/// doubly-linked list threaded through a `HashMap`, so every operation is
-/// O(1) and independent of capacity.
+/// decide whether a line is present at each level, so `touch`/`insert` are
+/// the hottest operations in the whole simulator. The implementation is a
+/// slab-backed intrusive list: nodes live in a flat `Vec` and link to each
+/// other by index, and an open-addressed `OpenTable` index maps keys to slab
+/// slots with a single cheap hash. Every operation is O(1), performs one probe
+/// sequence, and — once the slab has warmed up to capacity — never
+/// allocates.
 #[derive(Debug, Clone)]
 pub struct LruSet {
     capacity: usize,
-    // key -> (prev, next); u64::MAX marks "none".
-    links: HashMap<u64, (u64, u64)>,
-    head: u64, // most recently used
-    tail: u64, // least recently used
+    /// Slab of list nodes; never holds more than `capacity` live nodes.
+    nodes: Vec<Node>,
+    /// Slab slots freed by `remove`, reused before the slab grows.
+    free: Vec<u32>,
+    /// Open-addressed index: key -> slab slot.
+    index: OpenTable<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    len: usize,
 }
-
-const NONE: u64 = u64::MAX;
 
 impl LruSet {
     /// Create an LRU set holding at most `capacity` keys.
@@ -27,17 +49,30 @@ impl LruSet {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LruSet capacity must be positive");
-        LruSet { capacity, links: HashMap::new(), head: NONE, tail: NONE }
+        // The index is sized by *occupancy*, not capacity, and doubles as
+        // the set fills (like a `HashMap`): a mostly-empty cache with a huge
+        // capacity must not pay for (or cache-miss across) a huge table.
+        // Growth stops at ~2x capacity, so the load factor stays <= 0.5.
+        let table_len = (capacity * 2).next_power_of_two().clamp(4, 16);
+        LruSet {
+            capacity,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            index: OpenTable::new(table_len, NIL),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
     }
 
     /// Number of keys currently held.
     pub fn len(&self) -> usize {
-        self.links.len()
+        self.len
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.links.is_empty()
+        self.len == 0
     }
 
     /// Maximum number of keys.
@@ -47,46 +82,59 @@ impl LruSet {
 
     /// Whether `key` is present (does not update recency).
     pub fn contains(&self, key: u64) -> bool {
-        self.links.contains_key(&key)
+        matches!(self.index.probe(key), Probe::Found(_))
     }
 
-    fn unlink(&mut self, key: u64) {
-        let (prev, next) = self.links[&key];
-        if prev != NONE {
-            self.links.get_mut(&prev).expect("prev must exist").1 = next;
+    /// Splice `slot` out of the recency list (index untouched).
+    #[inline]
+    fn unlink(&mut self, slot: u32) {
+        let Node { prev, next, .. } = self.nodes[slot as usize];
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
         } else {
             self.head = next;
         }
-        if next != NONE {
-            self.links.get_mut(&next).expect("next must exist").0 = prev;
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
         } else {
             self.tail = prev;
         }
     }
 
-    fn push_front(&mut self, key: u64) {
+    /// Make `slot` the most-recently-used list node (index untouched).
+    #[inline]
+    fn push_front(&mut self, slot: u32) {
         let old_head = self.head;
-        self.links.insert(key, (NONE, old_head));
-        if old_head != NONE {
-            self.links.get_mut(&old_head).expect("head must exist").0 = key;
+        self.nodes[slot as usize].prev = NIL;
+        self.nodes[slot as usize].next = old_head;
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = slot;
         }
-        self.head = key;
-        if self.tail == NONE {
-            self.tail = key;
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Promote an indexed slot to most recently used.
+    #[inline]
+    fn promote(&mut self, slot: u32) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
         }
     }
 
     /// Mark `key` as most recently used if present; returns whether it was.
     pub fn touch(&mut self, key: u64) -> bool {
-        if !self.links.contains_key(&key) {
-            return false;
+        match self.index.probe(key) {
+            Probe::Found(pos) => {
+                let slot = self.index.val_at(pos);
+                self.promote(slot);
+                true
+            }
+            Probe::Vacant(_) => false,
         }
-        if self.head == key {
-            return true;
-        }
-        self.unlink(key);
-        self.push_front(key);
-        true
     }
 
     /// Insert `key` as most recently used. Returns the evicted key, if the
@@ -94,33 +142,78 @@ impl LruSet {
     ///
     /// # Panics
     ///
-    /// Panics if `key == u64::MAX`, which is reserved as the internal link
+    /// Panics if `key == u64::MAX`, which is reserved as the internal index
     /// sentinel. (Keys model cache-line addresses, which never reach it.)
     pub fn insert(&mut self, key: u64) -> Option<u64> {
         assert_ne!(key, NONE, "u64::MAX is reserved as the LruSet sentinel");
-        if self.touch(key) {
-            return None;
+        // One probe resolves both cases: it either finds `key` (promote) or
+        // ends at the empty position where `key` belongs.
+        let mut pos = match self.index.probe(key) {
+            Probe::Found(pos) => {
+                let slot = self.index.val_at(pos);
+                self.promote(slot);
+                return None;
+            }
+            Probe::Vacant(pos) => pos,
+        };
+        // Keep the load factor <= 0.5. The check only runs when a key is
+        // actually inserted, so promote-hits never grow; eviction caps the
+        // post-insert occupancy at `capacity`, so the table never grows past
+        // ~2x capacity (a transient `capacity + 1` entries is harmless).
+        if (self.len + 1).min(self.capacity) * 2 > self.index.slots() {
+            self.index.grow(NIL);
+            pos = match self.index.probe(key) {
+                Probe::Vacant(pos) => pos,
+                Probe::Found(_) => unreachable!("key cannot appear during growth"),
+            };
         }
-        let mut evicted = None;
-        if self.links.len() >= self.capacity {
-            let victim = self.tail;
-            debug_assert_ne!(victim, NONE);
-            self.unlink(victim);
-            self.links.remove(&victim);
-            evicted = Some(victim);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize].key = key;
+                slot
+            }
+            None => {
+                let slot = self.nodes.len() as u32;
+                self.nodes.push(Node { key, prev: NIL, next: NIL });
+                slot
+            }
+        };
+        self.index.occupy(pos, key, slot);
+        self.push_front(slot);
+        self.len += 1;
+        if self.len > self.capacity {
+            // Evict the least recently used key (never the one just
+            // inserted: it is at the head and the capacity is >= 1, so with
+            // len >= 2 the tail is a different node).
+            let victim_slot = self.tail;
+            debug_assert_ne!(victim_slot, NIL);
+            debug_assert_ne!(victim_slot, slot);
+            let victim_key = self.nodes[victim_slot as usize].key;
+            self.unlink(victim_slot);
+            match self.index.probe(victim_key) {
+                Probe::Found(victim_pos) => self.index.remove_at(victim_pos),
+                Probe::Vacant(_) => unreachable!("tail key must be indexed"),
+            }
+            self.free.push(victim_slot);
+            self.len -= 1;
+            return Some(victim_key);
         }
-        self.push_front(key);
-        evicted
+        None
     }
 
     /// Remove `key` if present; returns whether it was present.
     pub fn remove(&mut self, key: u64) -> bool {
-        if !self.links.contains_key(&key) {
-            return false;
+        match self.index.probe(key) {
+            Probe::Found(pos) => {
+                let slot = self.index.val_at(pos);
+                self.unlink(slot);
+                self.index.remove_at(pos);
+                self.free.push(slot);
+                self.len -= 1;
+                true
+            }
+            Probe::Vacant(_) => false,
         }
-        self.unlink(key);
-        self.links.remove(&key);
-        true
     }
 }
 

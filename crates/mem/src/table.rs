@@ -1,0 +1,199 @@
+//! The open-addressed table core shared by the hot-path structures.
+//!
+//! [`LruSet`](crate::LruSet)'s key index and the cache directory both need
+//! the same thing: a flat, linearly probed `u64 -> V` table keyed by one
+//! [`fast_mix64`] hash, with tombstone-free (backward-shift) deletion and
+//! doubling growth. The probing and deletion logic is subtle enough that it
+//! must exist exactly once; policy (load factors, growth triggers, what `V`
+//! is) stays with the callers.
+//!
+//! `u64::MAX` is reserved as the "empty" key sentinel — line addresses are
+//! byte addresses divided by the line size, so no real key ever reaches it.
+
+use swarm_types::fast_mix64;
+
+/// Reserved key marking an empty table position.
+pub(crate) const EMPTY_KEY: u64 = u64::MAX;
+
+/// A flat, linearly probed `u64 -> V` open-addressed table.
+///
+/// Keys and values live in parallel arrays so probing scans one contiguous
+/// `u64` array without touching the values. The table never tracks its own
+/// occupancy or resizes itself: callers decide when to [`grow`](Self::grow).
+#[derive(Debug, Clone)]
+pub(crate) struct OpenTable<V: Copy> {
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    mask: usize,
+}
+
+/// Where a probe ended: at the key, or at the empty slot where it would go.
+pub(crate) enum Probe {
+    /// The key is present at this position.
+    Found(usize),
+    /// The key is absent; it belongs at this (empty) position.
+    Vacant(usize),
+}
+
+impl<V: Copy> OpenTable<V> {
+    /// Create a table of `table_len` slots (must be a power of two), with
+    /// the value array pre-filled with `fill`.
+    pub fn new(table_len: usize, fill: V) -> Self {
+        debug_assert!(table_len.is_power_of_two());
+        OpenTable {
+            keys: vec![EMPTY_KEY; table_len],
+            vals: vec![fill; table_len],
+            mask: table_len - 1,
+        }
+    }
+
+    /// Number of slots (not occupied entries; the table does not track len).
+    pub fn slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Immutable value at `pos`.
+    pub fn val_at(&self, pos: usize) -> V {
+        self.vals[pos]
+    }
+
+    /// Mutable value at `pos`.
+    pub fn val_at_mut(&mut self, pos: usize) -> &mut V {
+        &mut self.vals[pos]
+    }
+
+    /// Probe for `key`: one hash, then a linear scan of the key array.
+    #[inline]
+    pub fn probe(&self, key: u64) -> Probe {
+        let mut pos = fast_mix64(key) as usize & self.mask;
+        loop {
+            let k = self.keys[pos];
+            if k == key {
+                return Probe::Found(pos);
+            }
+            if k == EMPTY_KEY {
+                return Probe::Vacant(pos);
+            }
+            pos = (pos + 1) & self.mask;
+        }
+    }
+
+    /// Fill the vacant position `pos` (as returned by [`probe`](Self::probe))
+    /// with `key` and `val`.
+    #[inline]
+    pub fn occupy(&mut self, pos: usize, key: u64, val: V) {
+        debug_assert_ne!(key, EMPTY_KEY, "u64::MAX is reserved as the empty-slot sentinel");
+        debug_assert_eq!(self.keys[pos], EMPTY_KEY);
+        self.keys[pos] = key;
+        self.vals[pos] = val;
+    }
+
+    /// Remove the entry at `pos`, backward-shifting any displaced successors
+    /// so no tombstones are needed.
+    pub fn remove_at(&mut self, pos: usize) {
+        let mut hole = pos;
+        self.keys[hole] = EMPTY_KEY;
+        let mut cur = hole;
+        loop {
+            cur = (cur + 1) & self.mask;
+            let k = self.keys[cur];
+            if k == EMPTY_KEY {
+                return;
+            }
+            // The entry may move into the hole iff the hole lies on its probe
+            // path: its displacement from its ideal position must be at least
+            // the distance it would be shifted back.
+            let ideal = fast_mix64(k) as usize & self.mask;
+            let displacement = cur.wrapping_sub(ideal) & self.mask;
+            let shift = cur.wrapping_sub(hole) & self.mask;
+            if displacement >= shift {
+                self.keys[hole] = k;
+                self.vals[hole] = self.vals[cur];
+                self.keys[cur] = EMPTY_KEY;
+                hole = cur;
+            }
+        }
+    }
+
+    /// Double the table and re-insert every entry (amortized over growth).
+    #[cold]
+    pub fn grow(&mut self, fill: V) {
+        let new_len = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_len]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![fill; new_len]);
+        self.mask = new_len - 1;
+        for (key, val) in old_keys.into_iter().zip(old_vals) {
+            if key == EMPTY_KEY {
+                continue;
+            }
+            let mut pos = fast_mix64(key) as usize & self.mask;
+            while self.keys[pos] != EMPTY_KEY {
+                pos = (pos + 1) & self.mask;
+            }
+            self.keys[pos] = key;
+            self.vals[pos] = val;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Random insert/remove churn against a `HashMap`, including lookups of
+    /// absent keys, exercising backward-shift deletion and growth.
+    #[test]
+    fn matches_hashmap_under_random_churn() {
+        let mut table: OpenTable<u64> = OpenTable::new(8, 0);
+        let mut occupancy = 0usize;
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut state = 0xBAD_5EEDu64;
+        for step in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let key = state % 61; // heavy aliasing: long probe chains
+            match state >> 62 {
+                0 | 1 => {
+                    if (occupancy + 1) * 2 > table.slots() {
+                        table.grow(0);
+                    }
+                    match table.probe(key) {
+                        Probe::Found(pos) => {
+                            assert_eq!(Some(&table.val_at(pos)), reference.get(&key));
+                            *table.val_at_mut(pos) = state;
+                        }
+                        Probe::Vacant(pos) => {
+                            assert!(!reference.contains_key(&key), "step {step}");
+                            table.occupy(pos, key, state);
+                            occupancy += 1;
+                        }
+                    }
+                    reference.insert(key, state);
+                }
+                2 => {
+                    let removed = match table.probe(key) {
+                        Probe::Found(pos) => {
+                            table.remove_at(pos);
+                            occupancy -= 1;
+                            true
+                        }
+                        Probe::Vacant(_) => false,
+                    };
+                    assert_eq!(removed, reference.remove(&key).is_some(), "step {step}");
+                }
+                _ => {
+                    let found = matches!(table.probe(key), Probe::Found(_));
+                    assert_eq!(found, reference.contains_key(&key), "step {step}");
+                }
+            }
+        }
+        for (&key, &val) in &reference {
+            match table.probe(key) {
+                Probe::Found(pos) => assert_eq!(table.val_at(pos), val),
+                Probe::Vacant(_) => panic!("key {key} lost"),
+            }
+        }
+    }
+}

@@ -6,10 +6,8 @@
 //! `swarm::enqueue` primitive for creating child tasks with spatial hints
 //! (Listing 1 and 2 of the paper map directly onto this API).
 
-use std::collections::HashSet;
-
 use swarm_mem::{SimMemory, UndoEntry};
-use swarm_types::{Addr, CoreId, Hint, LineAddr, TaskFnId, TaskId, Timestamp};
+use swarm_types::{Addr, CoreId, FastHashSet, Hint, LineAddr, TaskFnId, TaskId, Timestamp};
 
 use crate::state::SimState;
 use crate::task::{InitialTask, PendingChild};
@@ -82,8 +80,11 @@ pub struct TaskCtx<'a> {
     core: CoreId,
     ts: Timestamp,
     cycles: u64,
-    read_lines: HashSet<LineAddr>,
-    write_lines: HashSet<LineAddr>,
+    // FastHasher sets: every read/write inserts its line here, and SipHash
+    // was measurable; FastHasher also makes the iteration order (and thus
+    // the recorded read/write set order) deterministic.
+    read_lines: FastHashSet<LineAddr>,
+    write_lines: FastHashSet<LineAddr>,
     undo: Vec<UndoEntry>,
     trace: Vec<(Addr, bool)>,
     children: Vec<PendingChild>,
@@ -100,8 +101,8 @@ impl<'a> TaskCtx<'a> {
             core,
             ts,
             cycles: base,
-            read_lines: HashSet::new(),
-            write_lines: HashSet::new(),
+            read_lines: FastHashSet::default(),
+            write_lines: FastHashSet::default(),
             undo: Vec::new(),
             trace: Vec::new(),
             children: Vec::new(),
@@ -175,10 +176,17 @@ impl<'a> TaskCtx<'a> {
     /// finish overhead.
     pub(crate) fn into_outcome(mut self) -> ExecutionOutcome {
         self.cycles += self.state.cfg.spec.task_mgmt_cost;
+        // Sort the line sets: their order feeds line_table registration and
+        // abort-cascade traversal, so leaving it at hash-iteration order
+        // made some results (e.g. `summary` on sssp) depend on the hasher.
+        let mut read_lines: Vec<LineAddr> = self.read_lines.into_iter().collect();
+        let mut write_lines: Vec<LineAddr> = self.write_lines.into_iter().collect();
+        read_lines.sort_unstable();
+        write_lines.sort_unstable();
         ExecutionOutcome {
             cycles: self.cycles,
-            read_lines: self.read_lines.into_iter().collect(),
-            write_lines: self.write_lines.into_iter().collect(),
+            read_lines,
+            write_lines,
             undo: self.undo,
             trace: self.trace,
             children: self.children,

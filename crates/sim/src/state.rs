@@ -7,11 +7,11 @@
 //! rollback, commits — while the [`crate::engine::Engine`] drives *when* they
 //! happen (event ordering, dispatch policy, GVT epochs).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use swarm_mem::{AccessKind, CacheModel, HitLevel, SimMemory};
 use swarm_noc::{Mesh, TrafficClass, TrafficStats};
-use swarm_types::{Addr, CoreId, LineAddr, SystemConfig, TaskId, TileId};
+use swarm_types::{Addr, CoreId, FastHashMap, LineAddr, SystemConfig, TaskId, TileId};
 
 use crate::stats::{CommittedTaskAccesses, CycleBreakdown};
 use crate::task::{OrderKey, TaskDescriptor, TaskRecord, TaskStatus};
@@ -84,8 +84,10 @@ pub struct SimState {
     pub mesh: Mesh,
     /// Traffic accounting.
     pub traffic: TrafficStats,
-    /// Speculative access table: line -> uncommitted readers/writers.
-    pub line_table: HashMap<LineAddr, LineAccessors>,
+    /// Speculative access table: line -> uncommitted readers/writers. Keyed
+    /// by [`swarm_types::FastHasher`]: this table is consulted on every
+    /// speculative access, and the default SipHash dominated its cost.
+    pub line_table: FastHashMap<LineAddr, LineAccessors>,
     /// All task records, indexed by `TaskId.0`.
     pub records: Vec<TaskRecord>,
     /// Per-tile task unit state.
@@ -141,7 +143,7 @@ impl SimState {
             caches: CacheModel::new(cfg.cache.clone(), num_tiles, cfg.cores_per_tile),
             mesh: Mesh::new(cfg.tiles_x, cfg.tiles_y, cfg.noc.clone()),
             traffic: TrafficStats::default(),
-            line_table: HashMap::new(),
+            line_table: FastHashMap::default(),
             records: Vec::new(),
             tiles: vec![TileState::default(); num_tiles],
             cores: vec![CoreState::Idle { since: 0 }; num_cores],
@@ -444,30 +446,34 @@ impl SimState {
 
     /// Register a completed execution's read/write sets in the line table so
     /// later accesses by other tasks can detect conflicts against it.
+    ///
+    /// The sets are taken out of the record and restored afterwards (instead
+    /// of cloned) so that registering a task allocates nothing.
     pub fn register_access_sets(&mut self, task: TaskId) {
-        let (reads, writes) = {
-            let rec = self.record(task);
-            (rec.read_set.clone(), rec.write_set.clone())
-        };
-        for line in reads {
+        let rec = self.record_mut(task);
+        let reads = std::mem::take(&mut rec.read_set);
+        let writes = std::mem::take(&mut rec.write_set);
+        for &line in &reads {
             let acc = self.line_table.entry(line).or_default();
             if !acc.readers.contains(&task) {
                 acc.readers.push(task);
             }
         }
-        for line in writes {
+        for &line in &writes {
             let acc = self.line_table.entry(line).or_default();
             if !acc.writers.contains(&task) {
                 acc.writers.push(task);
             }
         }
+        let rec = self.record_mut(task);
+        rec.read_set = reads;
+        rec.write_set = writes;
     }
 
     fn unregister_access_sets(&mut self, task: TaskId) {
-        let (reads, writes) = {
-            let rec = self.record(task);
-            (rec.read_set.clone(), rec.write_set.clone())
-        };
+        let rec = self.record_mut(task);
+        let reads = std::mem::take(&mut rec.read_set);
+        let writes = std::mem::take(&mut rec.write_set);
         for line in reads.iter().chain(writes.iter()) {
             if let Some(acc) = self.line_table.get_mut(line) {
                 acc.readers.retain(|&t| t != task);
@@ -477,6 +483,9 @@ impl SimState {
                 }
             }
         }
+        let rec = self.record_mut(task);
+        rec.read_set = reads;
+        rec.write_set = writes;
     }
 
     // ------------------------------------------------------------------
@@ -507,8 +516,8 @@ impl SimState {
             // Data-dependent tasks: later-key readers/writers of lines this
             // task wrote.
             let my_key = rec.key();
-            for line in rec.write_set.clone() {
-                if let Some(acc) = self.line_table.get(&line) {
+            for line in &rec.write_set {
+                if let Some(acc) = self.line_table.get(line) {
                     for &other in acc.readers.iter().chain(acc.writers.iter()) {
                         if other != t && self.record(other).key() > my_key {
                             stack.push(other);

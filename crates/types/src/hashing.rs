@@ -25,7 +25,15 @@ pub fn hash64(value: u64) -> u64 {
 #[inline]
 pub fn hash_to_range(value: u64, n: usize) -> usize {
     assert!(n > 0, "hash range must be non-empty");
-    (hash64(value) % n as u64) as usize
+    let h = hash64(value);
+    // Power-of-two ranges (every paper mesh: 4, 16, 64 tiles) take a mask
+    // instead of a hardware divide; `h % n == h & (n - 1)` exactly, so the
+    // result is bit-identical either way.
+    if n.is_power_of_two() {
+        (h & (n as u64 - 1)) as usize
+    } else {
+        (h % n as u64) as usize
+    }
 }
 
 /// The 16-bit hashed hint carried by task descriptors and used by the
@@ -47,6 +55,94 @@ pub fn hash_to_bucket(value: u64, num_buckets: usize) -> u16 {
     assert!(num_buckets <= u16::MAX as usize + 1, "bucket count must fit in u16");
     (hash64(value.rotate_left(17)) % num_buckets as u64) as u16
 }
+
+/// A cheap 64-bit mixer for *hash-table indexing* (one multiply, two
+/// xor-shifts — the MurmurHash3 finalizer's first half).
+///
+/// This is deliberately weaker than [`hash64`]: it exists so the hot-path
+/// data structures (`LruSet`, the cache directory, the line-access table) can
+/// index their tables with a single cheap hash instead of SipHash. It must
+/// *not* be used where the paper's fixed hash functions are being modelled —
+/// simulated-architecture decisions (home tiles, hint buckets, Bloom
+/// signatures) always go through [`hash64`] so results stay bit-identical.
+#[inline]
+pub fn fast_mix64(value: u64) -> u64 {
+    let mut z = value ^ (value >> 33);
+    z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z ^ (z >> 33)
+}
+
+/// A [`std::hash::Hasher`] over [`fast_mix64`] for `HashMap`/`HashSet` keyed
+/// by integers or integer newtypes (line addresses, task ids).
+///
+/// Deterministic across runs and platforms (unlike the default `RandomState`
+/// SipHash), and far cheaper per lookup. Multi-word keys fold each word into
+/// the running state with one mix per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback for non-integer keys: fold 8-byte chunks.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = fast_mix64(self.state ^ i);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FastHasher`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastBuildHasher;
+
+impl std::hash::BuildHasher for FastBuildHasher {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher::default()
+    }
+}
+
+/// A `HashMap` keyed through [`FastHasher`] (deterministic, one cheap hash).
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` keyed through [`FastHasher`] (deterministic, one cheap hash).
+pub type FastHashSet<K> = std::collections::HashSet<K, FastBuildHasher>;
 
 /// A family of independent hash functions, used by the Bloom filter model to
 /// emulate the H3 hash functions of LogTM-SE-style signatures.

@@ -5,10 +5,266 @@
 use proptest::prelude::*;
 
 use swarm_repro::hints::TileMap;
-use swarm_repro::mem::{LruSet, SimMemory};
+use swarm_repro::mem::{AccessKind, CacheModel, LruSet, SimMemory};
 use swarm_repro::prelude::*;
 use swarm_repro::sim::InitialTask;
-use swarm_types::TileId;
+use swarm_types::{CacheConfig, CoreId, LineAddr, TileId};
+
+/// The seed (PR 1) `HashMap`-based memory-system structures, kept verbatim as
+/// reference models: the flat/open-addressed rewrites must be observationally
+/// identical, and these cross-checks pin that under randomized workloads.
+mod seed_reference {
+    use std::collections::HashMap;
+
+    use swarm_types::{CacheConfig, CoreId, LineAddr, TileId};
+
+    const NONE: u64 = u64::MAX;
+
+    /// The seed `LruSet`: a doubly-linked list threaded through a `HashMap`.
+    #[derive(Debug, Clone)]
+    pub struct SeedLruSet {
+        capacity: usize,
+        links: HashMap<u64, (u64, u64)>,
+        head: u64,
+        tail: u64,
+    }
+
+    impl SeedLruSet {
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "LruSet capacity must be positive");
+            SeedLruSet { capacity, links: HashMap::new(), head: NONE, tail: NONE }
+        }
+
+        pub fn len(&self) -> usize {
+            self.links.len()
+        }
+
+        pub fn contains(&self, key: u64) -> bool {
+            self.links.contains_key(&key)
+        }
+
+        fn unlink(&mut self, key: u64) {
+            let (prev, next) = self.links[&key];
+            if prev != NONE {
+                self.links.get_mut(&prev).expect("prev must exist").1 = next;
+            } else {
+                self.head = next;
+            }
+            if next != NONE {
+                self.links.get_mut(&next).expect("next must exist").0 = prev;
+            } else {
+                self.tail = prev;
+            }
+        }
+
+        fn push_front(&mut self, key: u64) {
+            let old_head = self.head;
+            self.links.insert(key, (NONE, old_head));
+            if old_head != NONE {
+                self.links.get_mut(&old_head).expect("head must exist").0 = key;
+            }
+            self.head = key;
+            if self.tail == NONE {
+                self.tail = key;
+            }
+        }
+
+        pub fn touch(&mut self, key: u64) -> bool {
+            if !self.links.contains_key(&key) {
+                return false;
+            }
+            if self.head == key {
+                return true;
+            }
+            self.unlink(key);
+            self.push_front(key);
+            true
+        }
+
+        pub fn insert(&mut self, key: u64) -> Option<u64> {
+            assert_ne!(key, NONE);
+            if self.touch(key) {
+                return None;
+            }
+            let mut evicted = None;
+            if self.links.len() >= self.capacity {
+                let victim = self.tail;
+                self.unlink(victim);
+                self.links.remove(&victim);
+                evicted = Some(victim);
+            }
+            self.push_front(key);
+            evicted
+        }
+
+        pub fn remove(&mut self, key: u64) -> bool {
+            if !self.links.contains_key(&key) {
+                return false;
+            }
+            self.unlink(key);
+            self.links.remove(&key);
+            true
+        }
+    }
+
+    #[derive(Debug, Clone, Default)]
+    struct LineDir {
+        sharers: u64,
+        owner: Option<TileId>,
+        in_l3: bool,
+    }
+
+    /// The seed cache model: `SeedLruSet` arrays plus a `HashMap` directory.
+    /// Only valid for <= 64 tiles (the seed's sharer-mask limit).
+    #[derive(Debug, Clone)]
+    pub struct SeedCacheModel {
+        cfg: CacheConfig,
+        cores_per_tile: u32,
+        num_tiles: usize,
+        l1: Vec<SeedLruSet>,
+        l2: Vec<SeedLruSet>,
+        l3: Vec<SeedLruSet>,
+        dir: HashMap<LineAddr, LineDir>,
+        pub hits: (u64, u64, u64, u64, u64),
+    }
+
+    /// What the seed `access` reported, field for field.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SeedOutcome {
+        pub level: swarm_repro::mem::HitLevel,
+        pub base_latency: u64,
+        pub invalidated: Vec<TileId>,
+        pub remote: bool,
+    }
+
+    impl SeedCacheModel {
+        pub fn new(cfg: CacheConfig, num_tiles: usize, cores_per_tile: u32) -> Self {
+            assert!(num_tiles <= 64);
+            let num_cores = num_tiles * cores_per_tile as usize;
+            SeedCacheModel {
+                l1: (0..num_cores).map(|_| SeedLruSet::new(cfg.l1_lines.max(1))).collect(),
+                l2: (0..num_tiles).map(|_| SeedLruSet::new(cfg.l2_lines.max(1))).collect(),
+                l3: (0..num_tiles).map(|_| SeedLruSet::new(cfg.l3_lines_per_tile.max(1))).collect(),
+                dir: HashMap::new(),
+                cfg,
+                cores_per_tile,
+                num_tiles,
+                hits: (0, 0, 0, 0, 0),
+            }
+        }
+
+        fn sharer_bit(tile: TileId) -> u64 {
+            1u64 << (tile.index() as u64 % 64)
+        }
+
+        fn sharer_tiles(&self, mask: u64, exclude: TileId) -> Vec<TileId> {
+            (0..self.num_tiles.min(64))
+                .filter(|&t| t != exclude.index() && (mask >> t) & 1 == 1)
+                .map(|t| TileId(t as u32))
+                .collect()
+        }
+
+        fn dir_first_other_sharer(&self, mask: u64, exclude: TileId) -> Option<TileId> {
+            (0..self.num_tiles.min(64))
+                .find(|&t| t != exclude.index() && (mask >> t) & 1 == 1)
+                .map(|t| TileId(t as u32))
+        }
+
+        pub fn access(&mut self, core: CoreId, line: LineAddr, write: bool) -> SeedOutcome {
+            use swarm_repro::mem::HitLevel;
+            let tile = core.tile(self.cores_per_tile);
+            let key = line.0;
+
+            let l1_hit = self.l1[core.index()].touch(key);
+            let l2_hit = l1_hit || self.l2[tile.index()].touch(key);
+
+            let dir_snapshot = self.dir.get(&line).cloned().unwrap_or_default();
+            let home = TileId(swarm_types::hash_to_range(line.0, self.num_tiles) as u32);
+
+            let (level, base_latency, remote) = if l1_hit {
+                self.hits.0 += 1;
+                (HitLevel::L1, self.cfg.l1_latency, false)
+            } else if l2_hit {
+                self.hits.1 += 1;
+                (HitLevel::L2, self.cfg.l1_latency + self.cfg.l2_latency, false)
+            } else {
+                let remote_holder = dir_snapshot
+                    .owner
+                    .filter(|o| *o != tile)
+                    .or_else(|| self.dir_first_other_sharer(dir_snapshot.sharers, tile));
+                if let Some(owner) = remote_holder {
+                    self.hits.2 += 1;
+                    (
+                        HitLevel::RemoteL2 { owner },
+                        self.cfg.l1_latency + self.cfg.l2_latency * 2 + self.cfg.l3_latency,
+                        true,
+                    )
+                } else if dir_snapshot.in_l3 && self.l3[home.index()].contains(key) {
+                    self.hits.3 += 1;
+                    (
+                        HitLevel::L3 { home },
+                        self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.l3_latency,
+                        true,
+                    )
+                } else {
+                    self.hits.4 += 1;
+                    (
+                        HitLevel::Memory { home },
+                        self.cfg.l1_latency
+                            + self.cfg.l2_latency
+                            + self.cfg.l3_latency
+                            + self.cfg.mem_latency,
+                        true,
+                    )
+                }
+            };
+
+            let mut invalidated = Vec::new();
+            if write {
+                let others = self.sharer_tiles(dir_snapshot.sharers, tile);
+                for other in &others {
+                    self.l2[other.index()].remove(key);
+                    let first_core = other.index() * self.cores_per_tile as usize;
+                    for c in first_core..first_core + self.cores_per_tile as usize {
+                        self.l1[c].remove(key);
+                    }
+                }
+                invalidated = others;
+            }
+
+            let dir = self.dir.entry(line).or_default();
+            if write {
+                dir.sharers = Self::sharer_bit(tile);
+                dir.owner = Some(tile);
+            } else {
+                dir.sharers |= Self::sharer_bit(tile);
+                if dir.owner != Some(tile) {
+                    dir.owner = None;
+                }
+            }
+            dir.in_l3 = true;
+            self.l3[home.index()].insert(key);
+            self.l2[tile.index()].insert(key);
+            self.l1[core.index()].insert(key);
+
+            SeedOutcome { level, base_latency, invalidated, remote }
+        }
+
+        pub fn flush_line(&mut self, line: LineAddr) {
+            let key = line.0;
+            for l1 in &mut self.l1 {
+                l1.remove(key);
+            }
+            for l2 in &mut self.l2 {
+                l2.remove(key);
+            }
+            for l3 in &mut self.l3 {
+                l3.remove(key);
+            }
+            self.dir.remove(&line);
+        }
+    }
+}
 
 /// A randomly generated "ledger" program: a set of add operations over a
 /// small number of cells, with random timestamps and hints. Whatever the
@@ -138,6 +394,92 @@ proptest! {
         let spread_after = after.iter().max().unwrap() - after.iter().min().unwrap();
         prop_assert!(spread_after <= spread_before,
             "rebalance made the spread worse: {} -> {}", spread_before, spread_after);
+    }
+
+    /// The slab-backed `LruSet` is observationally identical to the seed
+    /// `HashMap`-threaded implementation under random insert / touch /
+    /// remove interleavings, including eviction victims and order.
+    #[test]
+    fn lru_set_matches_seed_hashmap_reference(
+        capacity in 1usize..24,
+        ops in proptest::collection::vec((0u64..48, 0u8..8), 1..400),
+    ) {
+        let mut new_impl = LruSet::new(capacity);
+        let mut seed = seed_reference::SeedLruSet::new(capacity);
+        for (step, &(key, op)) in ops.iter().enumerate() {
+            match op {
+                // Bias towards inserts: they exercise eviction, the only
+                // place the two recency structures can silently diverge.
+                0..=4 => prop_assert_eq!(
+                    new_impl.insert(key),
+                    seed.insert(key),
+                    "insert({}) diverged at step {}", key, step
+                ),
+                5 | 6 => prop_assert_eq!(
+                    new_impl.touch(key),
+                    seed.touch(key),
+                    "touch({}) diverged at step {}", key, step
+                ),
+                _ => prop_assert_eq!(
+                    new_impl.remove(key),
+                    seed.remove(key),
+                    "remove({}) diverged at step {}", key, step
+                ),
+            }
+            prop_assert_eq!(new_impl.len(), seed.len(), "len diverged at step {}", step);
+            prop_assert_eq!(
+                new_impl.contains(key),
+                seed.contains(key),
+                "contains({}) diverged at step {}", key, step
+            );
+        }
+    }
+
+    /// The open-addressed directory + flat caches are observationally
+    /// identical to the seed `HashMap` cache model under random read /
+    /// write / flush interleavings: same hit levels, latencies,
+    /// invalidation lists (order included) and hit counters.
+    #[test]
+    fn cache_model_matches_seed_hashmap_reference(
+        machine_idx in 0usize..4,
+        ops in proptest::collection::vec((any::<u32>(), 0u64..40, 0u8..8), 1..300),
+    ) {
+        let (num_tiles, cores_per_tile) = [(1usize, 1u32), (4, 1), (4, 4), (16, 2)][machine_idx];
+        // Tiny capacities so the random workload constantly evicts.
+        let cfg = CacheConfig {
+            l1_lines: 2,
+            l2_lines: 4,
+            l3_lines_per_tile: 8,
+            ..CacheConfig::default()
+        };
+        let num_cores = num_tiles * cores_per_tile as usize;
+        let mut new_impl = CacheModel::new(cfg.clone(), num_tiles, cores_per_tile);
+        let mut seed = seed_reference::SeedCacheModel::new(cfg, num_tiles, cores_per_tile);
+        for (step, &(core_sel, line, op)) in ops.iter().enumerate() {
+            let core = CoreId(core_sel % num_cores as u32);
+            let line = LineAddr(line);
+            if op == 7 {
+                new_impl.flush_line(line);
+                seed.flush_line(line);
+                continue;
+            }
+            let write = op >= 4;
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let got = new_impl.access(core, line, kind);
+            let want = seed.access(core, line, write);
+            prop_assert_eq!(got.level, want.level, "hit level diverged at step {}", step);
+            prop_assert_eq!(
+                got.base_latency, want.base_latency,
+                "latency diverged at step {}", step
+            );
+            prop_assert_eq!(got.remote, want.remote, "remote flag diverged at step {}", step);
+            prop_assert_eq!(
+                got.invalidated.as_slice(),
+                want.invalidated.as_slice(),
+                "invalidations diverged at step {}", step
+            );
+        }
+        prop_assert_eq!(new_impl.hit_counters(), seed.hits, "hit counters diverged");
     }
 
     /// Hints map deterministically: the same hint always reaches the same
