@@ -1,0 +1,316 @@
+//! `kvstore`: an in-memory key-value store hammered by a Zipfian-skewed
+//! operation stream (a workload beyond the paper's Table I).
+//!
+//! Ordered benchmark: every operation (get / put / add) carries its stream
+//! index as timestamp, so the committed execution is the exact serial replay
+//! the reference performs. The spatial hint is the cache line of the key's
+//! home slot — the "abstract object id" pattern of `silo`, but with a
+//! *Zipfian* popularity distribution: a handful of hot keys attract a large
+//! fraction of all tasks, so the hint→tile hash concentrates load on a few
+//! tiles in a way none of the nine Table I apps do. That is precisely the
+//! regime where same-hint serialization pays (conflicts on hot keys become
+//! queueing instead of aborts) and where the load balancer has real skew to
+//! correct.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use swarm_mem::{AddressSpace, Region, SimMemory};
+use swarm_sim::{InitialTask, SwarmApp, TaskCtx};
+use swarm_types::{Hint, TaskFnId, Timestamp};
+
+const FID_OP: TaskFnId = 0;
+
+/// A seeded Zipfian rank sampler with exponent 1 (classic Zipf's law:
+/// rank `r` is drawn with probability proportional to `1 / (r + 1)`).
+///
+/// The distribution table is integer-exact — per-rank weights are
+/// `2^32 / (r + 1)` accumulated into a cumulative `u64` array, and sampling
+/// is a binary search on a uniform draw — so the generator is deterministic
+/// across platforms, which the repository's determinism suite relies on
+/// (no floating-point `powf` whose last bits could differ between libms).
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use swarm_apps::kvstore::Zipfian;
+///
+/// let zipf = Zipfian::new(16);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let ranks: Vec<u64> = (0..5).map(|_| zipf.sample(&mut rng)).collect();
+/// assert!(ranks.iter().all(|&r| r < 16));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    /// `cumulative[r]` = sum of weights of ranks `0..=r`.
+    cumulative: Vec<u64>,
+}
+
+/// Fixed-point scale of the per-rank weights.
+const ZIPF_SCALE: u64 = 1 << 32;
+
+impl Zipfian {
+    /// Build the distribution over `num_ranks` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ranks` is zero.
+    pub fn new(num_ranks: usize) -> Self {
+        assert!(num_ranks > 0, "need at least one rank");
+        let mut cumulative = Vec::with_capacity(num_ranks);
+        let mut sum = 0u64;
+        for r in 0..num_ranks as u64 {
+            sum += ZIPF_SCALE / (r + 1);
+            cumulative.push(sum);
+        }
+        Zipfian { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draw one rank in `0..num_ranks`, most popular first (rank 0 is the
+    /// hottest).
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let total = *self.cumulative.last().expect("non-empty distribution");
+        let u = rng.gen_range(0..total);
+        self.cumulative.partition_point(|&c| c <= u) as u64
+    }
+}
+
+/// One key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read the key; the observed value is recorded in the results log.
+    Get {
+        /// Key to read.
+        key: u64,
+    },
+    /// Overwrite the key's value.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// New value.
+        value: u64,
+    },
+    /// Read-modify-write: add `delta` to the key's value.
+    Add {
+        /// Key to update.
+        key: u64,
+        /// Amount to add.
+        delta: u64,
+    },
+}
+
+impl KvOp {
+    /// The key the operation touches.
+    pub fn key(self) -> u64 {
+        match self {
+            KvOp::Get { key } | KvOp::Put { key, .. } | KvOp::Add { key, .. } => key,
+        }
+    }
+}
+
+/// A generated key-value workload: the key space size and the op stream.
+#[derive(Debug, Clone)]
+pub struct KvWorkload {
+    /// Number of distinct keys.
+    pub num_keys: usize,
+    /// The operation stream, applied in index (= timestamp) order.
+    pub ops: Vec<KvOp>,
+}
+
+impl KvWorkload {
+    /// Generate `num_ops` operations over `num_keys` keys with Zipfian key
+    /// popularity (50% gets, 30% adds, 20% puts). Ranks are mapped to keys
+    /// through a seeded shuffle so the hot keys are scattered across the
+    /// key space — and therefore across cache lines — rather than packed
+    /// into the first line.
+    pub fn zipfian(num_keys: usize, num_ops: usize, seed: u64) -> Self {
+        assert!(num_keys > 0, "need at least one key");
+        let zipf = Zipfian::new(num_keys);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Fisher-Yates rank -> key permutation.
+        let mut rank_to_key: Vec<u64> = (0..num_keys as u64).collect();
+        for i in (1..num_keys).rev() {
+            let j = rng.gen_range(0..=i);
+            rank_to_key.swap(i, j);
+        }
+        let ops = (0..num_ops)
+            .map(|_| {
+                let key = rank_to_key[zipf.sample(&mut rng) as usize];
+                match rng.gen_range(0..10u32) {
+                    0..=4 => KvOp::Get { key },
+                    5..=7 => KvOp::Add { key, delta: rng.gen_range(1..=100u64) },
+                    _ => KvOp::Put { key, value: rng.gen_range(0..10_000u64) },
+                }
+            })
+            .collect();
+        KvWorkload { num_keys, ops }
+    }
+
+    /// Serial replay: final store contents and the per-op results log
+    /// (gets record the value they observed; puts and adds record nothing).
+    pub fn reference(&self) -> (Vec<u64>, Vec<u64>) {
+        let mut store = vec![0u64; self.num_keys];
+        let mut results = vec![0u64; self.ops.len()];
+        for (i, &op) in self.ops.iter().enumerate() {
+            match op {
+                KvOp::Get { key } => results[i] = store[key as usize],
+                KvOp::Put { key, value } => store[key as usize] = value,
+                KvOp::Add { key, delta } => store[key as usize] += delta,
+            }
+        }
+        (store, results)
+    }
+}
+
+/// The kvstore benchmark.
+pub struct Kvstore {
+    workload: KvWorkload,
+    store: Region,
+    results: Region,
+    reference: (Vec<u64>, Vec<u64>),
+}
+
+impl Kvstore {
+    /// Build the benchmark around a generated workload.
+    pub fn new(workload: KvWorkload) -> Self {
+        let mut space = AddressSpace::new();
+        let store = space.alloc_array("store", workload.num_keys as u64);
+        let results = space.alloc_array("results", workload.ops.len() as u64);
+        let reference = workload.reference();
+        Kvstore { workload, store, results, reference }
+    }
+
+    fn key_hint(&self, key: u64) -> Hint {
+        Hint::cache_line(self.store.addr_of(key))
+    }
+}
+
+impl SwarmApp for Kvstore {
+    fn name(&self) -> &str {
+        "kvstore"
+    }
+
+    fn initial_tasks(&self) -> Vec<InitialTask> {
+        // One ordered task per operation: the stream index is the timestamp
+        // and the key's home line the hint.
+        self.workload
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, &op)| {
+                InitialTask::new(FID_OP, i as Timestamp, self.key_hint(op.key()), vec![i as u64])
+            })
+            .collect()
+    }
+
+    fn run_task(&self, fid: TaskFnId, _ts: Timestamp, args: &[u64], ctx: &mut TaskCtx<'_>) {
+        assert_eq!(fid, FID_OP, "unknown kvstore task function {fid}");
+        let i = args[0] as usize;
+        // Hash-table probe cost of a real store front-end.
+        ctx.compute(15);
+        match self.workload.ops[i] {
+            KvOp::Get { key } => {
+                let value = ctx.read(self.store.addr_of(key));
+                ctx.write(self.results.addr_of(i as u64), value);
+            }
+            KvOp::Put { key, value } => {
+                ctx.write(self.store.addr_of(key), value);
+            }
+            KvOp::Add { key, delta } => {
+                ctx.update(self.store.addr_of(key), |v| v + delta);
+            }
+        }
+    }
+
+    fn num_task_fns(&self) -> usize {
+        1
+    }
+
+    fn validate(&self, mem: &SimMemory) -> Result<(), String> {
+        let (store, results) = &self.reference;
+        for (key, &want) in store.iter().enumerate() {
+            let got = mem.load(self.store.addr_of(key as u64));
+            if got != want {
+                return Err(format!("value of key {key}: got {got}, expected {want}"));
+            }
+        }
+        for (i, &want) in results.iter().enumerate() {
+            let got = mem.load(self.results.addr_of(i as u64));
+            if got != want {
+                return Err(format!("result of get #{i}: got {got}, expected {want}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_hints::Scheduler;
+    use swarm_sim::Engine;
+    use swarm_types::SystemConfig;
+
+    fn run(workload: KvWorkload, scheduler: Scheduler, cores: u32) -> swarm_sim::RunStats {
+        let cfg = SystemConfig::with_cores(cores);
+        let mapper = scheduler.build(&cfg);
+        let mut engine = Engine::new(cfg, Box::new(Kvstore::new(workload)), mapper);
+        engine.run().expect("kvstore must match the serial replay")
+    }
+
+    #[test]
+    fn zipfian_is_heavily_skewed() {
+        let zipf = Zipfian::new(64);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut freq = vec![0u64; 64];
+        for _ in 0..40_000 {
+            freq[zipf.sample(&mut rng) as usize] += 1;
+        }
+        // Harmonic weights: rank 0 draws ~21% of all samples at 64 keys.
+        assert!(freq[0] > freq[1], "rank 0 must be the hottest");
+        assert!(freq[0] as f64 / 40_000.0 > 0.15, "rank 0 drew only {} of 40000 samples", freq[0]);
+    }
+
+    #[test]
+    fn generated_ops_cover_all_op_kinds() {
+        let w = KvWorkload::zipfian(32, 400, 5);
+        let gets = w.ops.iter().filter(|o| matches!(o, KvOp::Get { .. })).count();
+        let puts = w.ops.iter().filter(|o| matches!(o, KvOp::Put { .. })).count();
+        let adds = w.ops.iter().filter(|o| matches!(o, KvOp::Add { .. })).count();
+        assert!(gets > 0 && puts > 0 && adds > 0, "gets={gets} puts={puts} adds={adds}");
+        assert_eq!(gets + puts + adds, 400);
+    }
+
+    #[test]
+    fn matches_serial_on_one_core() {
+        run(KvWorkload::zipfian(32, 200, 6), Scheduler::Random, 1);
+    }
+
+    #[test]
+    fn matches_serial_under_all_schedulers() {
+        for s in Scheduler::ALL {
+            run(KvWorkload::zipfian(32, 200, 7), s, 16);
+        }
+    }
+
+    #[test]
+    fn hot_keys_conflict_under_random_but_serialize_under_hints() {
+        let w = KvWorkload::zipfian(24, 300, 8);
+        let random = run(w.clone(), Scheduler::Random, 16);
+        let hints = run(w, Scheduler::Hints, 16);
+        assert_eq!(random.tasks_committed, hints.tasks_committed);
+        assert!(
+            hints.tasks_aborted <= random.tasks_aborted,
+            "hints aborted more ({}) than random ({})",
+            hints.tasks_aborted,
+            random.tasks_aborted
+        );
+    }
+}

@@ -1,5 +1,6 @@
-//! Criterion benchmarks behind Table I: the single-core run of every
-//! benchmark at tiny scale (the table's "1-core run-time" column, scaled).
+//! Criterion benchmarks behind the benchmark tables: the single-core run of
+//! every benchmark — the Table I nine and the beyond-Table-I three — at
+//! tiny scale (the tables' "1-core run-time" column, scaled).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion};
 

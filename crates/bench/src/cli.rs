@@ -24,8 +24,12 @@ pub struct HarnessArgs {
     pub scale: InputScale,
     /// Workload seed.
     pub seed: u64,
-    /// Benchmarks to run (defaults to all nine).
+    /// Benchmarks to run (defaults to the nine of Table I; `table2` defaults
+    /// to the beyond-Table-I set via [`HarnessArgs::apps_or`]).
     pub apps: Vec<BenchmarkId>,
+    /// Whether `--apps` was explicitly passed (so binaries with a different
+    /// default app set can tell an explicit request apart from the default).
+    pub apps_explicit: bool,
     /// Schedulers to compare (defaults to Random/Stealing/Hints/LBHints).
     pub schedulers: Vec<Scheduler>,
     /// Whether `--schedulers` was explicitly passed (so an explicit request
@@ -41,7 +45,8 @@ impl Default for HarnessArgs {
             cores: vec![1, 4, 16, 64],
             scale: InputScale::Small,
             seed: 0xF1605,
-            apps: BenchmarkId::ALL.to_vec(),
+            apps: BenchmarkId::TABLE1.to_vec(),
+            apps_explicit: false,
             schedulers: Scheduler::ALL.to_vec(),
             schedulers_explicit: false,
             jobs: 0,
@@ -93,6 +98,7 @@ impl HarnessArgs {
                             v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
                         if !apps.is_empty() {
                             parsed.apps = apps;
+                            parsed.apps_explicit = true;
                         }
                     }
                 }
@@ -136,6 +142,18 @@ impl HarnessArgs {
         RunRequest { spec, scheduler, cores, scale: self.scale, seed: self.seed }
     }
 
+    /// The benchmarks to run, replaced by `figure_default` when the user did
+    /// not pass `--apps` (the `table2` binary defaults to the beyond-Table-I
+    /// workloads instead of the Table I nine). An explicit `--apps` always
+    /// wins.
+    pub fn apps_or(&self, figure_default: &[BenchmarkId]) -> Vec<BenchmarkId> {
+        if self.apps_explicit {
+            self.apps.clone()
+        } else {
+            figure_default.to_vec()
+        }
+    }
+
     /// The schedulers to compare, restricted to `figure_default` when the
     /// user did not pass `--schedulers` (several figures omit LBHints, which
     /// only appears from Fig. 10 on). An explicit `--schedulers` always
@@ -158,11 +176,27 @@ mod tests {
     }
 
     #[test]
-    fn defaults_cover_all_apps_and_schedulers() {
+    fn defaults_cover_the_table1_apps_and_all_schedulers() {
+        // The default app set stays the Table I nine so the figure binaries
+        // keep reproducing the paper's evaluation; the beyond-Table-I
+        // workloads are opted into via `--apps` or `apps_or`.
         let args = HarnessArgs::default();
-        assert_eq!(args.apps.len(), 9);
+        assert_eq!(args.apps, BenchmarkId::TABLE1.to_vec());
         assert_eq!(args.schedulers.len(), 4);
         assert_eq!(args.max_cores(), 64);
+    }
+
+    #[test]
+    fn apps_or_respects_explicit_choice() {
+        let beyond = BenchmarkId::BEYOND_TABLE1;
+        assert_eq!(HarnessArgs::default().apps_or(&beyond), beyond.to_vec());
+        let explicit = HarnessArgs::parse_from(s(&["--apps", "kvstore,des"]));
+        assert!(explicit.apps_explicit);
+        assert_eq!(
+            explicit.apps_or(&beyond),
+            vec![BenchmarkId::Kvstore, BenchmarkId::Des],
+            "an explicit --apps must win over the figure default"
+        );
     }
 
     #[test]

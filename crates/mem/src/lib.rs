@@ -31,9 +31,10 @@ pub mod cache;
 pub mod layout;
 pub mod lru;
 pub mod memory;
-pub(crate) mod table;
+pub mod table;
 
 pub use cache::{AccessKind, AccessOutcome, CacheModel, HitLevel};
 pub use layout::{AddressSpace, Region};
 pub use lru::LruSet;
 pub use memory::{SimMemory, UndoEntry};
+pub use table::{OpenTable, Probe};

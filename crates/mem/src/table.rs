@@ -13,22 +13,25 @@
 use swarm_types::fast_mix64;
 
 /// Reserved key marking an empty table position.
-pub(crate) const EMPTY_KEY: u64 = u64::MAX;
+pub const EMPTY_KEY: u64 = u64::MAX;
 
 /// A flat, linearly probed `u64 -> V` open-addressed table.
 ///
 /// Keys and values live in parallel arrays so probing scans one contiguous
 /// `u64` array without touching the values. The table never tracks its own
 /// occupancy or resizes itself: callers decide when to [`grow`](Self::grow).
+///
+/// Consumers: [`crate::LruSet`]'s key index and the cache directory in this
+/// crate, and `swarm_sim`'s speculative line-access table.
 #[derive(Debug, Clone)]
-pub(crate) struct OpenTable<V: Copy> {
+pub struct OpenTable<V: Copy> {
     keys: Vec<u64>,
     vals: Vec<V>,
     mask: usize,
 }
 
 /// Where a probe ended: at the key, or at the empty slot where it would go.
-pub(crate) enum Probe {
+pub enum Probe {
     /// The key is present at this position.
     Found(usize),
     /// The key is absent; it belongs at this (empty) position.

@@ -52,7 +52,9 @@
 
 pub mod app;
 pub mod bloom;
+pub mod conformance;
 pub mod engine;
+pub mod line_table;
 pub mod mapper;
 pub mod state;
 pub mod stats;
@@ -61,8 +63,9 @@ pub mod task;
 pub use app::{ExecutionOutcome, SwarmApp, TaskCtx};
 pub use bloom::BloomFilter;
 pub use engine::{Engine, DEFAULT_TASK_LIMIT};
+pub use line_table::{LineAccessors, LineTable};
 pub use mapper::{PinnedMapper, RoundRobinMapper, TaskMapper};
-pub use state::{CoreState, LineAccessors, SimState, TileState};
+pub use state::{CoreState, SimState, TileState};
 pub use stats::{CommittedTaskAccesses, CycleBreakdown, RunStats};
 pub use task::{InitialTask, OrderKey, PendingChild, TaskDescriptor, TaskRecord, TaskStatus};
 

@@ -1,0 +1,193 @@
+//! The speculative line-access table: cache line -> uncommitted readers and
+//! writers.
+//!
+//! This table is consulted on every speculative access (conflict detection)
+//! and updated on every task registration, abort and commit, so it sits on
+//! the simulator's hottest path. It used to be a `FastHashMap<LineAddr,
+//! LineAccessors>`; it is now the same flat, linearly probed
+//! [`OpenTable`] core the memory system uses, with the
+//! non-`Copy` accessor lists parked in a free-listed slab so that removing a
+//! line keeps its `Vec` capacities for the next line that lands in the slot
+//! (steady-state registration allocates nothing).
+//!
+//! `tests/properties.rs` in the workspace root cross-checks this structure
+//! against a `HashMap` reference model under randomized register/unregister
+//! interleavings.
+
+use swarm_mem::{OpenTable, Probe};
+use swarm_types::{LineAddr, TaskId};
+
+/// Readers and writers currently registered for a cache line.
+#[derive(Debug, Clone, Default)]
+pub struct LineAccessors {
+    /// Uncommitted tasks that read the line.
+    pub readers: Vec<TaskId>,
+    /// Uncommitted tasks that wrote the line.
+    pub writers: Vec<TaskId>,
+}
+
+impl LineAccessors {
+    /// Whether no task is registered on the line.
+    pub fn is_empty(&self) -> bool {
+        self.readers.is_empty() && self.writers.is_empty()
+    }
+}
+
+/// Slot index marking "no slab entry" in the open-addressed index.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Open-addressed map from [`LineAddr`] to [`LineAccessors`].
+///
+/// Line addresses are byte addresses divided by the line size, so no real
+/// key ever reaches the `u64::MAX` empty-slot sentinel of the underlying
+/// table.
+#[derive(Debug)]
+pub struct LineTable {
+    /// line -> slab slot.
+    index: OpenTable<u32>,
+    /// Accessor lists; freed slots keep their capacity and are reused.
+    slots: Vec<LineAccessors>,
+    /// Freed slab slots available for reuse.
+    free: Vec<u32>,
+    /// Number of lines currently present.
+    len: usize,
+}
+
+impl LineTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        LineTable {
+            index: OpenTable::new(64, NO_SLOT),
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of lines with at least one registered accessor entry.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no line is present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The accessors of `line`, if present.
+    #[inline]
+    pub fn get(&self, line: LineAddr) -> Option<&LineAccessors> {
+        match self.index.probe(line.0) {
+            Probe::Found(pos) => Some(&self.slots[self.index.val_at(pos) as usize]),
+            Probe::Vacant(_) => None,
+        }
+    }
+
+    /// Mutable accessors of `line`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut LineAccessors> {
+        match self.index.probe(line.0) {
+            Probe::Found(pos) => Some(&mut self.slots[self.index.val_at(pos) as usize]),
+            Probe::Vacant(_) => None,
+        }
+    }
+
+    /// The accessors of `line`, inserting an empty entry if absent (the
+    /// `entry(line).or_default()` of the former `HashMap`).
+    #[inline]
+    pub fn entry_or_default(&mut self, line: LineAddr) -> &mut LineAccessors {
+        let slot = match self.index.probe(line.0) {
+            Probe::Found(pos) => self.index.val_at(pos),
+            Probe::Vacant(mut pos) => {
+                // Grow only when actually inserting (a hit must stay
+                // allocation-free), keeping occupancy below half the slots
+                // so probe chains stay short.
+                if (self.len + 1) * 2 > self.index.slots() {
+                    self.index.grow(NO_SLOT);
+                    pos = match self.index.probe(line.0) {
+                        Probe::Vacant(p) => p,
+                        Probe::Found(_) => unreachable!("key cannot appear during growth"),
+                    };
+                }
+                let slot = match self.free.pop() {
+                    Some(s) => s,
+                    None => {
+                        self.slots.push(LineAccessors::default());
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                self.index.occupy(pos, line.0, slot);
+                self.len += 1;
+                slot
+            }
+        };
+        &mut self.slots[slot as usize]
+    }
+
+    /// Remove `line` if present. Its accessor lists are cleared but their
+    /// capacity is kept for reuse by the next inserted line.
+    pub fn remove(&mut self, line: LineAddr) {
+        if let Probe::Found(pos) = self.index.probe(line.0) {
+            let slot = self.index.val_at(pos);
+            self.index.remove_at(pos);
+            let acc = &mut self.slots[slot as usize];
+            acc.readers.clear();
+            acc.writers.clear();
+            self.free.push(slot);
+            self.len -= 1;
+        }
+    }
+}
+
+impl Default for LineTable {
+    fn default() -> Self {
+        LineTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = LineTable::new();
+        assert!(t.is_empty());
+        let line = LineAddr(42);
+        assert!(t.get(line).is_none());
+        t.entry_or_default(line).readers.push(TaskId(7));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(line).unwrap().readers, vec![TaskId(7)]);
+        t.get_mut(line).unwrap().writers.push(TaskId(8));
+        assert_eq!(t.get(line).unwrap().writers, vec![TaskId(8)]);
+        t.remove(line);
+        assert!(t.get(line).is_none());
+        assert!(t.is_empty());
+        // Removing an absent line is a no-op.
+        t.remove(line);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn freed_slots_are_reused_without_stale_contents() {
+        let mut t = LineTable::new();
+        t.entry_or_default(LineAddr(1)).readers.push(TaskId(1));
+        t.remove(LineAddr(1));
+        // The reused slot must come back empty.
+        let acc = t.entry_or_default(LineAddr(2));
+        assert!(acc.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut t = LineTable::new();
+        for line in 0..500u64 {
+            t.entry_or_default(LineAddr(line)).writers.push(TaskId(line));
+        }
+        assert_eq!(t.len(), 500);
+        for line in 0..500u64 {
+            assert_eq!(t.get(LineAddr(line)).unwrap().writers, vec![TaskId(line)]);
+        }
+    }
+}

@@ -11,8 +11,9 @@ use std::collections::BTreeSet;
 
 use swarm_mem::{AccessKind, CacheModel, HitLevel, SimMemory};
 use swarm_noc::{Mesh, TrafficClass, TrafficStats};
-use swarm_types::{Addr, CoreId, FastHashMap, LineAddr, SystemConfig, TaskId, TileId};
+use swarm_types::{Addr, CoreId, LineAddr, SystemConfig, TaskId, TileId};
 
+use crate::line_table::LineTable;
 use crate::stats::{CommittedTaskAccesses, CycleBreakdown};
 use crate::task::{OrderKey, TaskDescriptor, TaskRecord, TaskStatus};
 
@@ -62,15 +63,6 @@ impl TileState {
     }
 }
 
-/// Readers and writers currently registered for a cache line.
-#[derive(Debug, Clone, Default)]
-pub struct LineAccessors {
-    /// Uncommitted tasks that read the line.
-    pub readers: Vec<TaskId>,
-    /// Uncommitted tasks that wrote the line.
-    pub writers: Vec<TaskId>,
-}
-
 /// The complete mutable state of one simulation.
 #[derive(Debug)]
 pub struct SimState {
@@ -84,10 +76,11 @@ pub struct SimState {
     pub mesh: Mesh,
     /// Traffic accounting.
     pub traffic: TrafficStats,
-    /// Speculative access table: line -> uncommitted readers/writers. Keyed
-    /// by [`swarm_types::FastHasher`]: this table is consulted on every
-    /// speculative access, and the default SipHash dominated its cost.
-    pub line_table: FastHashMap<LineAddr, LineAccessors>,
+    /// Speculative access table: line -> uncommitted readers/writers. An
+    /// open-addressed flat table (see [`crate::line_table`]): it is consulted
+    /// on every speculative access, and first SipHash, then the `HashMap`
+    /// control-byte machinery, dominated its cost.
+    pub line_table: LineTable,
     /// All task records, indexed by `TaskId.0`.
     pub records: Vec<TaskRecord>,
     /// Per-tile task unit state.
@@ -143,7 +136,7 @@ impl SimState {
             caches: CacheModel::new(cfg.cache.clone(), num_tiles, cfg.cores_per_tile),
             mesh: Mesh::new(cfg.tiles_x, cfg.tiles_y, cfg.noc.clone()),
             traffic: TrafficStats::default(),
-            line_table: FastHashMap::default(),
+            line_table: LineTable::new(),
             records: Vec::new(),
             tiles: vec![TileState::default(); num_tiles],
             cores: vec![CoreState::Idle { since: 0 }; num_cores],
@@ -379,7 +372,7 @@ impl SimState {
         // would otherwise appear out of timestamp order).
         let mut victims: Vec<TaskId> = Vec::new();
         let mut check_cost = 0;
-        if let Some(acc) = self.line_table.get(&line) {
+        if let Some(acc) = self.line_table.get(line) {
             self.conflict_checks += 1;
             let compared = (acc.readers.len() + acc.writers.len()) as u64;
             check_cost =
@@ -454,13 +447,13 @@ impl SimState {
         let reads = std::mem::take(&mut rec.read_set);
         let writes = std::mem::take(&mut rec.write_set);
         for &line in &reads {
-            let acc = self.line_table.entry(line).or_default();
+            let acc = self.line_table.entry_or_default(line);
             if !acc.readers.contains(&task) {
                 acc.readers.push(task);
             }
         }
         for &line in &writes {
-            let acc = self.line_table.entry(line).or_default();
+            let acc = self.line_table.entry_or_default(line);
             if !acc.writers.contains(&task) {
                 acc.writers.push(task);
             }
@@ -474,11 +467,11 @@ impl SimState {
         let rec = self.record_mut(task);
         let reads = std::mem::take(&mut rec.read_set);
         let writes = std::mem::take(&mut rec.write_set);
-        for line in reads.iter().chain(writes.iter()) {
+        for &line in reads.iter().chain(writes.iter()) {
             if let Some(acc) = self.line_table.get_mut(line) {
                 acc.readers.retain(|&t| t != task);
                 acc.writers.retain(|&t| t != task);
-                if acc.readers.is_empty() && acc.writers.is_empty() {
+                if acc.is_empty() {
                     self.line_table.remove(line);
                 }
             }
@@ -516,7 +509,7 @@ impl SimState {
             // Data-dependent tasks: later-key readers/writers of lines this
             // task wrote.
             let my_key = rec.key();
-            for line in &rec.write_set {
+            for &line in &rec.write_set {
                 if let Some(acc) = self.line_table.get(line) {
                     for &other in acc.readers.iter().chain(acc.writers.iter()) {
                         if other != t && self.record(other).key() > my_key {
@@ -695,7 +688,7 @@ impl SimState {
         let my_key = rec.key();
         // No earlier uncommitted writer of anything I read or wrote, and no
         // earlier uncommitted reader of anything I wrote.
-        for line in rec.read_set.iter().chain(rec.write_set.iter()) {
+        for &line in rec.read_set.iter().chain(rec.write_set.iter()) {
             if let Some(acc) = self.line_table.get(line) {
                 for &w in &acc.writers {
                     if w != task && self.record(w).key() < my_key {
@@ -704,7 +697,7 @@ impl SimState {
                 }
             }
         }
-        for line in &rec.write_set {
+        for &line in &rec.write_set {
             if let Some(acc) = self.line_table.get(line) {
                 for &r in &acc.readers {
                     if r != task && self.record(r).key() < my_key {

@@ -46,7 +46,7 @@ impl CycleBreakdown {
 
 /// One committed task's accesses, for the architecture-independent access
 /// classification of Fig. 3 / Fig. 6. Collected only when profiling is on.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommittedTaskAccesses {
     /// The task's (resolved) hint.
     pub hint: Hint,
@@ -57,7 +57,7 @@ pub struct CommittedTaskAccesses {
 }
 
 /// Result of one simulated run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Scheduler used.
     pub scheduler: String,

@@ -13,7 +13,8 @@
 //! * [`hints`] — the paper's contribution: hint-based spatial task mapping,
 //!   same-hint serialization, the data-centric load balancer, and the
 //!   access-classification profiler;
-//! * [`apps`] — the nine benchmarks of Table I with seeded workload
+//! * [`apps`] — the nine benchmarks of Table I plus three beyond-Table-I
+//!   workloads (maxflow, triangle, kvstore), with seeded workload
 //!   generators and serial references.
 //!
 //! # Quickstart
@@ -52,6 +53,7 @@ mod tests {
         let cfg = SystemConfig::small();
         let mapper = Scheduler::Random.build(&cfg);
         assert_eq!(mapper.name(), "Random");
-        assert_eq!(BenchmarkId::ALL.len(), 9);
+        assert_eq!(BenchmarkId::ALL.len(), 12);
+        assert_eq!(BenchmarkId::TABLE1.len(), 9);
     }
 }

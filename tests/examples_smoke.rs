@@ -29,7 +29,11 @@ fn example_names() -> Vec<String> {
 #[test]
 fn every_example_runs_and_produces_output() {
     let names = example_names();
-    assert!(names.len() >= 4, "expected at least the four seed examples, found {names:?}");
+    assert!(names.len() >= 5, "expected the four seed examples plus kvstore_zipf, found {names:?}");
+    assert!(
+        names.iter().any(|n| n == "kvstore_zipf"),
+        "the beyond-Table-I example is missing: {names:?}"
+    );
     for name in names {
         let output = Command::new(env!("CARGO"))
             .args(["run", "--quiet", "--example", &name])

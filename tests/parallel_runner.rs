@@ -5,20 +5,22 @@
 //!
 //! Every simulated run draws all randomness from its own seed, so the only
 //! way parallelism could change results is through result *reassembly* —
-//! which is exactly what these tests pin down, across two apps × two
-//! schedulers (an ordered and an unordered benchmark, a hint-based and a
-//! hint-oblivious scheduler).
+//! which is exactly what these tests pin down, across three apps × two
+//! schedulers (an ordered and an unordered Table I benchmark plus a
+//! beyond-Table-I workload, under a hint-based and a hint-oblivious
+//! scheduler). `tests/conformance.rs` additionally sweeps every app ×
+//! scheduler point through the pool at `--jobs 1` vs `--jobs 8`.
 
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId, InputScale};
 use swarm_bench::{format_speedup_table, speedup_curve, CurveSpec, Pool, RunRequest};
 
-const APPS: [BenchmarkId; 2] = [BenchmarkId::Sssp, BenchmarkId::Kmeans];
+const APPS: [BenchmarkId; 3] = [BenchmarkId::Sssp, BenchmarkId::Kmeans, BenchmarkId::Kvstore];
 const SCHEDULERS: [Scheduler; 2] = [Scheduler::Random, Scheduler::Hints];
 const CORES: [u32; 3] = [1, 2, 4];
 const SEED: u64 = 0xF1605;
 
-/// The full two-app × two-scheduler curve set.
+/// The full three-app × two-scheduler curve set.
 fn series() -> Vec<CurveSpec> {
     APPS.iter()
         .flat_map(|&app| {

@@ -3,12 +3,15 @@
 //! and load distributions.
 
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
+use swarm_repro::apps::kvstore::Zipfian;
 use swarm_repro::hints::TileMap;
 use swarm_repro::mem::{AccessKind, CacheModel, LruSet, SimMemory};
 use swarm_repro::prelude::*;
-use swarm_repro::sim::InitialTask;
-use swarm_types::{CacheConfig, CoreId, LineAddr, TileId};
+use swarm_repro::sim::{InitialTask, LineTable};
+use swarm_types::{CacheConfig, CoreId, LineAddr, TaskId, TileId};
 
 /// The seed (PR 1) `HashMap`-based memory-system structures, kept verbatim as
 /// reference models: the flat/open-addressed rewrites must be observationally
@@ -480,6 +483,130 @@ proptest! {
             );
         }
         prop_assert_eq!(new_impl.hit_counters(), seed.hits, "hit counters diverged");
+    }
+
+    /// The Zipfian sampler is a pure function of its seed: equal seeds give
+    /// equal rank sequences, for any distribution size.
+    #[test]
+    fn zipfian_is_seeded_deterministic(seed in any::<u64>(), num_ranks in 1usize..200) {
+        let zipf = Zipfian::new(num_ranks);
+        let mut a = SmallRng::seed_from_u64(seed);
+        let mut b = SmallRng::seed_from_u64(seed);
+        for draw in 0..200 {
+            let (ra, rb) = (zipf.sample(&mut a), zipf.sample(&mut b));
+            prop_assert_eq!(ra, rb, "draw {} diverged", draw);
+            prop_assert!(ra < num_ranks as u64, "rank {} out of range", ra);
+        }
+    }
+
+    /// Empirical rank frequencies track the harmonic law `p(r) ∝ 1/(r+1)`
+    /// within a generous sampling tolerance, for any seed.
+    #[test]
+    fn zipfian_rank_frequencies_follow_the_harmonic_law(seed in any::<u64>()) {
+        const RANKS: usize = 32;
+        const SAMPLES: u64 = 30_000;
+        let zipf = Zipfian::new(RANKS);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut freq = [0u64; RANKS];
+        for _ in 0..SAMPLES {
+            freq[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let harmonic: f64 = (1..=RANKS).map(|r| 1.0 / r as f64).sum();
+        for (r, &got) in freq.iter().enumerate() {
+            let expected = SAMPLES as f64 / ((r + 1) as f64 * harmonic);
+            let tolerance = expected * 0.25 + 30.0; // ~6 sigma at 30k draws
+            prop_assert!(
+                (got as f64 - expected).abs() < tolerance,
+                "rank {} drawn {} times, expected {:.0} ± {:.0}",
+                r, got, expected, tolerance
+            );
+        }
+    }
+
+    /// At large sample counts every rank is drawn at least once — the tail
+    /// is thin but never silently truncated.
+    #[test]
+    fn zipfian_covers_the_full_rank_range(seed in any::<u64>()) {
+        const RANKS: usize = 48;
+        let zipf = Zipfian::new(RANKS);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut seen = [false; RANKS];
+        for _ in 0..30_000 {
+            seen[zipf.sample(&mut rng) as usize] = true;
+        }
+        let missing: Vec<usize> =
+            seen.iter().enumerate().filter(|(_, &s)| !s).map(|(r, _)| r).collect();
+        prop_assert!(missing.is_empty(), "ranks never drawn: {:?}", missing);
+    }
+
+    /// The open-addressed `LineTable` (the speculative line-access table
+    /// ported onto `swarm_mem::OpenTable`) is observationally identical to
+    /// the former `HashMap` representation under random register /
+    /// unregister / remove interleavings, mirroring exactly how
+    /// `swarm_sim::state` drives it.
+    #[test]
+    fn line_table_matches_hashmap_reference(
+        ops in proptest::collection::vec((0u64..48, 0u64..16, 0u8..8), 1..400),
+    ) {
+        use std::collections::HashMap;
+        type RefAccessors = (Vec<TaskId>, Vec<TaskId>);
+        let mut table = LineTable::new();
+        let mut reference: HashMap<u64, RefAccessors> = HashMap::new();
+        for (step, &(line_raw, task_raw, op)) in ops.iter().enumerate() {
+            let line = LineAddr(line_raw);
+            let task = TaskId(task_raw);
+            match op {
+                // Register a reader (how register_access_sets inserts).
+                0..=2 => {
+                    let acc = table.entry_or_default(line);
+                    if !acc.readers.contains(&task) {
+                        acc.readers.push(task);
+                    }
+                    let entry = reference.entry(line_raw).or_default();
+                    if !entry.0.contains(&task) {
+                        entry.0.push(task);
+                    }
+                }
+                // Register a writer.
+                3..=5 => {
+                    let acc = table.entry_or_default(line);
+                    if !acc.writers.contains(&task) {
+                        acc.writers.push(task);
+                    }
+                    let entry = reference.entry(line_raw).or_default();
+                    if !entry.1.contains(&task) {
+                        entry.1.push(task);
+                    }
+                }
+                // Unregister the task, dropping emptied lines (how
+                // unregister_access_sets cleans up).
+                6 => {
+                    if let Some(acc) = table.get_mut(line) {
+                        acc.readers.retain(|&t| t != task);
+                        acc.writers.retain(|&t| t != task);
+                        if acc.is_empty() {
+                            table.remove(line);
+                        }
+                    }
+                    if let Some(entry) = reference.get_mut(&line_raw) {
+                        entry.0.retain(|&t| t != task);
+                        entry.1.retain(|&t| t != task);
+                        if entry.0.is_empty() && entry.1.is_empty() {
+                            reference.remove(&line_raw);
+                        }
+                    }
+                }
+                // Drop the whole line (cache-flush style).
+                _ => {
+                    table.remove(line);
+                    reference.remove(&line_raw);
+                }
+            }
+            let got = table.get(line).map(|a| (a.readers.clone(), a.writers.clone()));
+            let want = reference.get(&line_raw).cloned();
+            prop_assert_eq!(got, want, "accessors of line {} diverged at step {}", line_raw, step);
+            prop_assert_eq!(table.len(), reference.len(), "len diverged at step {}", step);
+        }
     }
 
     /// Hints map deterministically: the same hint always reaches the same

@@ -121,6 +121,56 @@ fn stealing_keeps_cores_fed_on_an_imbalanced_spawn_tree() {
 }
 
 #[test]
+fn load_balancer_corrects_zipfian_key_skew_on_kvstore() {
+    // The kvstore workload exists precisely for this regime: Zipfian key
+    // popularity concentrates hint load on a few tiles, so LBHints must
+    // reconfigure and even out per-tile committed cycles relative to the
+    // static hint hash.
+    use swarm_repro::apps::kvstore::{KvWorkload, Kvstore};
+    let run_with = |scheduler: Scheduler| {
+        let mut cfg = SystemConfig::with_cores(16);
+        cfg.lb_epoch = 2_000;
+        let workload = KvWorkload::zipfian(64, 1200, 17);
+        let mut engine =
+            Engine::new(cfg.clone(), Box::new(Kvstore::new(workload)), scheduler.build(&cfg));
+        engine.run().expect("kvstore must validate")
+    };
+    let hints = run_with(Scheduler::Hints);
+    let lb = run_with(Scheduler::LbHints);
+    assert!(lb.lb_reconfigs > 0, "the load balancer never reconfigured on a Zipfian workload");
+    assert!(
+        lb.load_imbalance() < hints.load_imbalance(),
+        "LBHints imbalance ({:.3}) should beat static Hints ({:.3}) on skewed keys",
+        lb.load_imbalance(),
+        hints.load_imbalance()
+    );
+}
+
+#[test]
+fn stealing_outruns_hints_on_maxflow_where_vertex_lines_are_shared() {
+    // maxflow's distinctive stress: eight vertices share each excess-word
+    // cache line, so line hints serialize whole neighborhoods of discharge
+    // tasks on one tile, and a work-stealing schedule finishes well ahead.
+    // (Hints still aborts less and moves less data — see
+    // tests/end_to_end.rs — which is exactly the trade-off this workload
+    // was added to surface.)
+    let run_with = |scheduler: Scheduler| {
+        let cfg = SystemConfig::with_cores(16);
+        let app = AppSpec::coarse(BenchmarkId::Maxflow).build(InputScale::Tiny, 99);
+        let mut engine = Engine::new(cfg.clone(), app, scheduler.build(&cfg));
+        engine.run().expect("maxflow must validate")
+    };
+    let stealing = run_with(Scheduler::Stealing);
+    let hints = run_with(Scheduler::Hints);
+    assert!(
+        stealing.runtime_cycles * 2 < hints.runtime_cycles,
+        "stealing ({}) should clearly outrun line-serialized hints ({}) on maxflow",
+        stealing.runtime_cycles,
+        hints.runtime_cycles
+    );
+}
+
+#[test]
 fn lbhints_spreads_hot_buckets_over_time() {
     // Two hot objects under LBHints: even if both initially hash to the same
     // tile, reconfigurations may separate them; in all cases the run must
