@@ -283,17 +283,19 @@ impl SwarmApp for Genome {
 mod tests {
     use super::*;
     use spatial_hints::Scheduler;
-    use swarm_sim::Engine;
-    use swarm_types::SystemConfig;
+    use swarm_sim::Sim;
 
     fn workload(seed: u64) -> GenomeWorkload {
         GenomeWorkload::generate(512, 16, 6, 120, seed)
     }
 
     fn run(app: Genome, scheduler: Scheduler, cores: u32) -> swarm_sim::RunStats {
-        let cfg = SystemConfig::with_cores(cores);
-        let mapper = scheduler.build(&cfg);
-        let mut engine = Engine::new(cfg, Box::new(app), mapper);
+        let mut engine = Sim::builder()
+            .cores(cores)
+            .app(app)
+            .scheduler(scheduler)
+            .build()
+            .expect("valid simulation");
         engine.run().expect("genome must deduplicate and link correctly")
     }
 

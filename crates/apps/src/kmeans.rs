@@ -297,17 +297,19 @@ impl SwarmApp for Kmeans {
 mod tests {
     use super::*;
     use spatial_hints::Scheduler;
-    use swarm_sim::Engine;
-    use swarm_types::SystemConfig;
+    use swarm_sim::Sim;
 
     fn workload(seed: u64) -> KmeansWorkload {
         KmeansWorkload::generate(96, 4, 4, 3, seed)
     }
 
     fn run(app: Kmeans, scheduler: Scheduler, cores: u32) -> swarm_sim::RunStats {
-        let cfg = SystemConfig::with_cores(cores);
-        let mapper = scheduler.build(&cfg);
-        let mut engine = Engine::new(cfg, Box::new(app), mapper);
+        let mut engine = Sim::builder()
+            .cores(cores)
+            .app(app)
+            .scheduler(scheduler)
+            .build()
+            .expect("valid simulation");
         engine.run().expect("kmeans must match the serial clustering")
     }
 

@@ -255,13 +255,15 @@ impl SwarmApp for Kvstore {
 mod tests {
     use super::*;
     use spatial_hints::Scheduler;
-    use swarm_sim::Engine;
-    use swarm_types::SystemConfig;
+    use swarm_sim::Sim;
 
     fn run(workload: KvWorkload, scheduler: Scheduler, cores: u32) -> swarm_sim::RunStats {
-        let cfg = SystemConfig::with_cores(cores);
-        let mapper = scheduler.build(&cfg);
-        let mut engine = Engine::new(cfg, Box::new(Kvstore::new(workload)), mapper);
+        let mut engine = Sim::builder()
+            .cores(cores)
+            .app(Kvstore::new(workload))
+            .scheduler(scheduler)
+            .build()
+            .expect("valid simulation");
         engine.run().expect("kvstore must match the serial replay")
     }
 

@@ -31,16 +31,15 @@
 //! ```
 //! use swarm_apps::{AppSpec, BenchmarkId, InputScale};
 //! use spatial_hints::Scheduler;
-//! use swarm_sim::Engine;
-//! use swarm_types::SystemConfig;
+//! use swarm_sim::Sim;
 //!
 //! let spec = AppSpec::coarse(BenchmarkId::Sssp);
-//! let cfg = SystemConfig::with_cores(4);
-//! let mut engine = Engine::new(
-//!     cfg.clone(),
-//!     spec.build(InputScale::Tiny, 1),
-//!     Scheduler::Hints.build(&cfg),
-//! );
+//! let mut engine = Sim::builder()
+//!     .cores(4)
+//!     .app_boxed(spec.build(InputScale::Tiny, 1))
+//!     .scheduler(Scheduler::Hints)
+//!     .build()
+//!     .expect("a valid simulation description");
 //! let stats = engine.run().unwrap();
 //! assert!(stats.tasks_committed > 0);
 //! ```

@@ -379,17 +379,19 @@ impl SwarmApp for Silo {
 mod tests {
     use super::*;
     use spatial_hints::Scheduler;
-    use swarm_sim::Engine;
-    use swarm_types::SystemConfig;
+    use swarm_sim::Sim;
 
     fn small_workload(seed: u64) -> SiloWorkload {
         SiloWorkload { transactions: 120, seed, ..SiloWorkload::default() }
     }
 
     fn run(app: Silo, scheduler: Scheduler, cores: u32) -> swarm_sim::RunStats {
-        let cfg = SystemConfig::with_cores(cores);
-        let mapper = scheduler.build(&cfg);
-        let mut engine = Engine::new(cfg, Box::new(app), mapper);
+        let mut engine = Sim::builder()
+            .cores(cores)
+            .app(app)
+            .scheduler(scheduler)
+            .build()
+            .expect("valid simulation");
         engine.run().expect("silo must match the serial transaction execution")
     }
 

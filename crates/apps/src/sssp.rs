@@ -117,13 +117,15 @@ impl SwarmApp for Sssp {
 mod tests {
     use super::*;
     use spatial_hints::Scheduler;
-    use swarm_sim::Engine;
-    use swarm_types::SystemConfig;
+    use swarm_sim::Sim;
 
     fn run(app: Sssp, scheduler: Scheduler, cores: u32) -> swarm_sim::RunStats {
-        let cfg = SystemConfig::with_cores(cores);
-        let mapper = scheduler.build(&cfg);
-        let mut engine = Engine::new(cfg, Box::new(app), mapper);
+        let mut engine = Sim::builder()
+            .cores(cores)
+            .app(app)
+            .scheduler(scheduler)
+            .build()
+            .expect("valid simulation");
         engine.run().expect("sssp must validate against Dijkstra")
     }
 

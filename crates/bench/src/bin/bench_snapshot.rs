@@ -1,153 +1,5 @@
-//! Machine-readable snapshot of the `mechanisms` microbenchmarks.
-//!
-//! Times the memory-system hot-path mechanisms with the same
-//! calibrate-then-median harness the vendored criterion shim uses, and emits
-//! `BENCH_mechanisms.json` (ns/op per mechanism) so the performance
-//! trajectory of the hot path is tracked in version control, not just in
-//! terminal scrollback.
-//!
-//! ```text
-//! bench_snapshot [--out PATH]   # default: BENCH_mechanisms.json
-//! ```
-
-use std::time::Instant;
-
-use swarm_mem::{AccessKind, CacheModel, LruSet, SimMemory};
-use swarm_sim::BloomFilter;
-use swarm_types::{CacheConfig, CoreId, LineAddr};
-
-/// Samples taken per mechanism; the median is reported.
-const SAMPLES: usize = 20;
-
-/// Median ns/op of `payload`, calibrated so one sample runs >= 1 ms.
-fn time_ns(mut payload: impl FnMut()) -> f64 {
-    let mut batch = 1u64;
-    loop {
-        let start = Instant::now();
-        for _ in 0..batch {
-            payload();
-        }
-        if start.elapsed().as_micros() >= 1_000 || batch >= 1 << 20 {
-            break;
-        }
-        batch *= 2;
-    }
-    let mut per_iter: Vec<f64> = (0..SAMPLES)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..batch {
-                payload();
-            }
-            start.elapsed().as_nanos() as f64 / batch as f64
-        })
-        .collect();
-    per_iter.sort_by(|a, b| a.total_cmp(b));
-    per_iter[per_iter.len() / 2]
-}
+//! Legacy shim: identical to `swarm bench` (see `swarm_bench::figures::bench_snapshot`).
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let mut out = String::from("BENCH_mechanisms.json");
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--out" => out = args.next().expect("--out requires a path"),
-            other => panic!("unknown argument {other:?} (expected --out PATH)"),
-        }
-    }
-
-    let mut results: Vec<(&str, f64)> = Vec::new();
-
-    {
-        let mut caches = CacheModel::new(CacheConfig::default(), 64, 4);
-        let mut i = 0u64;
-        results.push((
-            "cache_model_access_64tiles",
-            time_ns(|| {
-                i = i.wrapping_add(1);
-                let core = CoreId((i % 256) as u32);
-                std::hint::black_box(caches.access(core, LineAddr(i % 8192), AccessKind::Read));
-            }),
-        ));
-    }
-    {
-        let mut lru = LruSet::new(4096);
-        let mut i = 0u64;
-        results.push((
-            "lru_set_insert",
-            time_ns(|| {
-                i = i.wrapping_add(1);
-                std::hint::black_box(lru.insert(i % 16384));
-            }),
-        ));
-    }
-    {
-        let mut lru = LruSet::new(4096);
-        for i in 0..4096u64 {
-            lru.insert(i);
-        }
-        let mut i = 0u64;
-        results.push((
-            "lru_set_touch_hot",
-            time_ns(|| {
-                i = i.wrapping_add(1);
-                std::hint::black_box(lru.touch(i % 4096));
-            }),
-        ));
-    }
-    {
-        let mut mem = SimMemory::new();
-        for i in 0..8192u64 {
-            mem.store(i * 8, i);
-        }
-        let mut i = 0u64;
-        results.push((
-            "sim_memory_load_store",
-            time_ns(|| {
-                i = i.wrapping_add(1);
-                let addr = (i % 8192) * 8;
-                let value = mem.load(addr);
-                std::hint::black_box(mem.store(addr, value.wrapping_add(1)));
-            }),
-        ));
-    }
-    {
-        let mut mem = SimMemory::new();
-        let mut i = 0u64;
-        results.push((
-            "sim_memory_store_logged",
-            time_ns(|| {
-                i = i.wrapping_add(8);
-                std::hint::black_box(mem.store_logged(i % 65536, i));
-            }),
-        ));
-    }
-    {
-        let mut filter = BloomFilter::new(2048, 8);
-        let mut i = 0u64;
-        results.push((
-            "bloom_insert_2kbit_8way",
-            time_ns(|| {
-                i = i.wrapping_add(1);
-                filter.insert(LineAddr(i % 4096));
-            }),
-        ));
-    }
-
-    // Hand-rolled JSON (the offline build has no serde_json); mechanism
-    // names are static identifiers, so nothing needs escaping.
-    let entries: Vec<String> = results
-        .iter()
-        .map(|(name, ns)| format!("    {{\"name\": \"{name}\", \"ns_per_op\": {ns:.1}}}"))
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"mechanisms\",\n  \"unit\": \"ns_per_op\",\n  \"results\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
-    );
-    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
-
-    println!("{:<32}{:>12}", "mechanism", "ns/op");
-    for (name, ns) in &results {
-        println!("{name:<32}{ns:>12.1}");
-    }
-    println!("wrote {out}");
+    swarm_bench::registry::run_shim("bench_snapshot");
 }

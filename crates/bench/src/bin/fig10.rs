@@ -1,33 +1,5 @@
-//! Fig. 10: speedup of Random, Stealing, Hints and LBHints from 1 to N
-//! cores on all nine applications. For the four benchmarks with fine-grain
-//! versions, the hint-based schedulers use the fine-grain variant (the paper
-//! reports the best-performing version per scheme).
-
-use spatial_hints::Scheduler;
-use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{format_speedup_table, CurveSpec, HarnessArgs};
+//! Legacy shim: identical to `swarm fig10` (see `swarm_bench::figures::fig10`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let series: Vec<CurveSpec> = args
-        .apps
-        .iter()
-        .flat_map(|&bench| {
-            args.schedulers.iter().map(move |&s| {
-                let hint_based = matches!(s, Scheduler::Hints | Scheduler::LbHints);
-                let spec = if hint_based && BenchmarkId::WITH_FINE_GRAIN.contains(&bench) {
-                    AppSpec::fine(bench)
-                } else {
-                    AppSpec::coarse(bench)
-                };
-                (format!("{}{}", s.name(), if spec.fine_grain { "(FG)" } else { "" }), spec, s)
-            })
-        })
-        .collect();
-    let curves = args.pool().speedup_curves(&series, &args.cores, args.scale, args.seed);
-
-    for (bench, app_curves) in args.apps.iter().zip(curves.chunks(args.schedulers.len())) {
-        println!("Fig. 10 [{}]: speedup vs cores", bench.name());
-        println!("{}", format_speedup_table(app_curves));
-    }
+    swarm_bench::registry::run_shim("fig10");
 }

@@ -1,37 +1,5 @@
-//! Fig. 11: core-cycle breakdown of des, nocsim, silo and kmeans at the
-//! largest core count under Random, Stealing, Hints and LBHints (normalized
-//! to Random) — the benchmarks where the data-centric load balancer matters.
-
-use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{format_breakdown_table, HarnessArgs};
+//! Legacy shim: identical to `swarm fig11` (see `swarm_bench::figures::fig11`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let args = &args;
-    let cores = args.max_cores();
-    let benches: Vec<BenchmarkId> =
-        [BenchmarkId::Des, BenchmarkId::Nocsim, BenchmarkId::Silo, BenchmarkId::Kmeans]
-            .into_iter()
-            .filter(|b| args.apps.contains(b))
-            .collect();
-
-    let entries = args.pool().run_labeled(
-        benches
-            .iter()
-            .flat_map(|&bench| {
-                let spec = AppSpec::coarse(bench);
-                args.schedulers
-                    .iter()
-                    .map(move |&s| (s.name().to_string(), args.request(spec, s, cores)))
-            })
-            .collect(),
-    );
-
-    for (bench, bench_entries) in benches.iter().zip(entries.chunks(args.schedulers.len())) {
-        println!(
-            "Fig. 11 [{}]: core-cycle breakdown at {cores} cores (normalized to Random)",
-            bench.name()
-        );
-        println!("{}", format_breakdown_table(bench_entries));
-    }
+    swarm_bench::registry::run_shim("fig11");
 }

@@ -1,28 +1,5 @@
-//! Fig. 3: architecture-independent classification of memory accesses made
-//! by committing tasks, per application: arguments, single-/multi-hint ×
-//! read-only/read-write.
-
-use spatial_hints::{classify_accesses, ClassifierConfig, Scheduler};
-use swarm_apps::AppSpec;
-use swarm_bench::{classification_header, format_classification_row, HarnessArgs, RunRequest};
+//! Legacy shim: identical to `swarm fig3` (see `swarm_bench::figures::fig3`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let requests: Vec<RunRequest> = args
-        .apps
-        .iter()
-        .map(|&bench| args.request(AppSpec::coarse(bench), Scheduler::Hints, 4))
-        .collect();
-    let all_stats = args.pool().run_matrix_profiled(&requests);
-
-    println!("Fig. 3: classification of memory accesses (fractions of each app's total)");
-    print!("{}", classification_header());
-    for (bench, stats) in args.apps.iter().zip(&all_stats) {
-        let classification =
-            classify_accesses(&stats.committed_accesses, ClassifierConfig::default());
-        print!(
-            "{}",
-            format_classification_row(bench.name(), &classification, classification.total())
-        );
-    }
+    swarm_bench::registry::run_shim("fig3");
 }

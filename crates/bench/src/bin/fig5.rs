@@ -1,41 +1,5 @@
-//! Fig. 5: (a) core-cycle breakdown and (b) NoC-traffic breakdown for every
-//! application at the largest core count, under Random, Stealing and Hints,
-//! normalized to Random.
-
-use spatial_hints::Scheduler;
-use swarm_apps::AppSpec;
-use swarm_bench::{format_breakdown_table, format_traffic_table, HarnessArgs};
+//! Legacy shim: identical to `swarm fig5` (see `swarm_bench::figures::fig5`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let args = &args;
-    let schedulers =
-        args.schedulers_or(&[Scheduler::Random, Scheduler::Stealing, Scheduler::Hints]);
-    let cores = args.max_cores();
-
-    // One flat labelled matrix across all apps × schedulers.
-    let entries = args.pool().run_labeled(
-        args.apps
-            .iter()
-            .flat_map(|&bench| {
-                let spec = AppSpec::coarse(bench);
-                schedulers
-                    .iter()
-                    .map(move |&s| (s.name().to_string(), args.request(spec, s, cores)))
-            })
-            .collect(),
-    );
-
-    for (bench, app_entries) in args.apps.iter().zip(entries.chunks(schedulers.len())) {
-        println!(
-            "Fig. 5a [{}]: core-cycle breakdown at {cores} cores (normalized to Random)",
-            bench.name()
-        );
-        println!("{}", format_breakdown_table(app_entries));
-        println!(
-            "Fig. 5b [{}]: NoC data breakdown at {cores} cores (normalized to Random)",
-            bench.name()
-        );
-        println!("{}", format_traffic_table(app_entries));
-    }
+    swarm_bench::registry::run_shim("fig5");
 }

@@ -1,42 +1,5 @@
-//! Fig. 6: access classification of coarse-grain (CG) vs fine-grain (FG)
-//! versions of bfs, sssp, astar and color. FG bars are normalized to the CG
-//! total of the same application, so values above 1.0 show the extra
-//! accesses (work) fine-grain tasks perform.
-
-use spatial_hints::{classify_accesses, ClassifierConfig, Scheduler};
-use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{classification_header, format_classification_row, HarnessArgs, RunRequest};
+//! Legacy shim: identical to `swarm fig6` (see `swarm_bench::figures::fig6`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let benches: Vec<BenchmarkId> =
-        BenchmarkId::WITH_FINE_GRAIN.into_iter().filter(|b| args.apps.contains(b)).collect();
-
-    // CG and FG profiled runs for every selected bench, in one matrix.
-    let labeled: Vec<(String, AppSpec)> = benches
-        .iter()
-        .flat_map(|&bench| {
-            [
-                (format!("{}-cg", bench.name()), AppSpec::coarse(bench)),
-                (format!("{}-fg", bench.name()), AppSpec::fine(bench)),
-            ]
-        })
-        .collect();
-    let requests: Vec<RunRequest> =
-        labeled.iter().map(|&(_, spec)| args.request(spec, Scheduler::Hints, 4)).collect();
-    let all_stats = args.pool().run_matrix_profiled(&requests);
-
-    println!("Fig. 6: access classification, coarse-grain vs fine-grain (normalized to CG total)");
-    print!("{}", classification_header());
-    let mut cg_total = 0;
-    for (i, ((label, _), stats)) in labeled.iter().zip(&all_stats).enumerate() {
-        let classification =
-            classify_accesses(&stats.committed_accesses, ClassifierConfig::default());
-        // Even entries are the CG runs: they set the normalization baseline
-        // for themselves and the FG run that follows.
-        if i % 2 == 0 {
-            cg_total = classification.total();
-        }
-        print!("{}", format_classification_row(label, &classification, cg_total));
-    }
+    swarm_bench::registry::run_shim("fig6");
 }

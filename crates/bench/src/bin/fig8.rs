@@ -1,46 +1,5 @@
-//! Fig. 8: core-cycle and NoC-traffic breakdowns of the fine-grain versions
-//! of bfs, sssp, astar and color at the largest core count, under Random,
-//! Stealing and Hints, normalized to the coarse-grain version under Random.
-
-use spatial_hints::Scheduler;
-use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{format_breakdown_table, format_traffic_table, HarnessArgs};
+//! Legacy shim: identical to `swarm fig8` (see `swarm_bench::figures::fig8`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let args = &args;
-    let schedulers =
-        args.schedulers_or(&[Scheduler::Random, Scheduler::Stealing, Scheduler::Hints]);
-    let cores = args.max_cores();
-    let benches: Vec<BenchmarkId> =
-        BenchmarkId::WITH_FINE_GRAIN.into_iter().filter(|b| args.apps.contains(b)).collect();
-
-    // Per bench: the CG-Random normalization baseline (as in the paper),
-    // then the FG runs — all batched into one labelled matrix.
-    let entries = args.pool().run_labeled(
-        benches
-            .iter()
-            .flat_map(|&bench| {
-                let base = args.request(AppSpec::coarse(bench), Scheduler::Random, cores);
-                std::iter::once(("CG-Random".to_string(), base)).chain(schedulers.iter().map(
-                    move |&s| {
-                        (format!("FG-{}", s.name()), args.request(AppSpec::fine(bench), s, cores))
-                    },
-                ))
-            })
-            .collect(),
-    );
-
-    for (bench, bench_entries) in benches.iter().zip(entries.chunks(schedulers.len() + 1)) {
-        println!(
-            "Fig. 8a [{}]: FG core-cycle breakdown at {cores} cores (normalized to CG-Random)",
-            bench.name()
-        );
-        println!("{}", format_breakdown_table(bench_entries));
-        println!(
-            "Fig. 8b [{}]: FG NoC data breakdown at {cores} cores (normalized to CG-Random)",
-            bench.name()
-        );
-        println!("{}", format_traffic_table(bench_entries));
-    }
+    swarm_bench::registry::run_shim("fig8");
 }

@@ -1,142 +1,5 @@
-//! Section VI-B "putting it all together": geometric-mean speedups of
-//! Random, Hints, Hints with fine-grain versions, and LBHints at the largest
-//! core count, plus efficiency metrics (aborted-cycle and traffic
-//! reductions). Optionally dumps machine-readable JSON with `--json`.
-
-use spatial_hints::Scheduler;
-use swarm_apps::{AppSpec, BenchmarkId};
-use swarm_bench::{gmean, HarnessArgs, RunRequest};
-
-struct AppSummary {
-    app: String,
-    cores: u32,
-    random_speedup: f64,
-    stealing_speedup: f64,
-    hints_speedup: f64,
-    hints_fg_speedup: f64,
-    lbhints_speedup: f64,
-    abort_cycle_reduction_hints_vs_random: f64,
-    traffic_reduction_hints_vs_random: f64,
-}
-
-/// Hand-rolled JSON dump (the offline build has no serde_json). Strings
-/// here are app names, which never need escaping.
-fn to_json_pretty(summaries: &[AppSummary]) -> String {
-    let objects: Vec<String> = summaries
-        .iter()
-        .map(|s| {
-            format!(
-                "  {{\n    \"app\": \"{}\",\n    \"cores\": {},\n    \"random_speedup\": {},\n    \
-                 \"stealing_speedup\": {},\n    \"hints_speedup\": {},\n    \
-                 \"hints_fg_speedup\": {},\n    \"lbhints_speedup\": {},\n    \
-                 \"abort_cycle_reduction_hints_vs_random\": {},\n    \
-                 \"traffic_reduction_hints_vs_random\": {}\n  }}",
-                s.app,
-                s.cores,
-                s.random_speedup,
-                s.stealing_speedup,
-                s.hints_speedup,
-                s.hints_fg_speedup,
-                s.lbhints_speedup,
-                s.abort_cycle_reduction_hints_vs_random,
-                s.traffic_reduction_hints_vs_random
-            )
-        })
-        .collect();
-    format!("[\n{}\n]", objects.join(",\n"))
-}
-
-/// The six runs the summary needs per app, in matrix order.
-const RUNS_PER_APP: usize = 6;
+//! Legacy shim: identical to `swarm summary` (see `swarm_bench::figures::summary`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let json = std::env::args().any(|a| a == "--json");
-    let cores = args.max_cores();
-
-    // Per app: 1-core Random baseline, then Random/Stealing/Hints on the
-    // coarse version and Hints/LBHints on the best (fine where available)
-    // version, all at the target core count — one flat matrix.
-    let requests: Vec<RunRequest> = args
-        .apps
-        .iter()
-        .flat_map(|&bench| {
-            let cg = AppSpec::coarse(bench);
-            let best_fg = if BenchmarkId::WITH_FINE_GRAIN.contains(&bench) {
-                AppSpec::fine(bench)
-            } else {
-                cg
-            };
-            [
-                (cg, Scheduler::Random, 1),
-                (cg, Scheduler::Random, cores),
-                (cg, Scheduler::Stealing, cores),
-                (cg, Scheduler::Hints, cores),
-                (best_fg, Scheduler::Hints, cores),
-                (best_fg, Scheduler::LbHints, cores),
-            ]
-            .map(|(spec, scheduler, c)| args.request(spec, scheduler, c))
-        })
-        .collect();
-    let all_stats = args.pool().run_matrix(&requests);
-
-    let summaries: Vec<AppSummary> = args
-        .apps
-        .iter()
-        .zip(all_stats.chunks(RUNS_PER_APP))
-        .map(|(&bench, stats)| {
-            let [baseline, random, stealing, hints, hints_fg, lbhints] =
-                [0, 1, 2, 3, 4, 5].map(|i| &stats[i]);
-            AppSummary {
-                app: bench.name().to_string(),
-                cores,
-                random_speedup: random.speedup_over(baseline),
-                stealing_speedup: stealing.speedup_over(baseline),
-                hints_speedup: hints.speedup_over(baseline),
-                hints_fg_speedup: hints_fg.speedup_over(baseline),
-                lbhints_speedup: lbhints.speedup_over(baseline),
-                abort_cycle_reduction_hints_vs_random: random.breakdown.aborted.max(1) as f64
-                    / hints.breakdown.aborted.max(1) as f64,
-                traffic_reduction_hints_vs_random: random.traffic.total().max(1) as f64
-                    / hints.traffic.total().max(1) as f64,
-            }
-        })
-        .collect();
-
-    if json {
-        println!("{}", to_json_pretty(&summaries));
-        return;
-    }
-
-    println!("Section VI-B summary at {cores} cores (speedups over 1-core Random)");
-    println!(
-        "{:<8}{:>10}{:>10}{:>10}{:>12}{:>10}{:>14}{:>14}",
-        "app", "Random", "Stealing", "Hints", "Hints(FG)", "LBHints", "abort red.", "traffic red."
-    );
-    for s in &summaries {
-        println!(
-            "{:<8}{:>10.2}{:>10.2}{:>10.2}{:>12.2}{:>10.2}{:>13.1}x{:>13.1}x",
-            s.app,
-            s.random_speedup,
-            s.stealing_speedup,
-            s.hints_speedup,
-            s.hints_fg_speedup,
-            s.lbhints_speedup,
-            s.abort_cycle_reduction_hints_vs_random,
-            s.traffic_reduction_hints_vs_random
-        );
-    }
-    let col =
-        |f: fn(&AppSummary) -> f64| -> f64 { gmean(&summaries.iter().map(f).collect::<Vec<_>>()) };
-    println!(
-        "{:<8}{:>10.2}{:>10.2}{:>10.2}{:>12.2}{:>10.2}{:>13.1}x{:>13.1}x",
-        "gmean",
-        col(|s| s.random_speedup),
-        col(|s| s.stealing_speedup),
-        col(|s| s.hints_speedup),
-        col(|s| s.hints_fg_speedup),
-        col(|s| s.lbhints_speedup),
-        col(|s| s.abort_cycle_reduction_hints_vs_random),
-        col(|s| s.traffic_reduction_hints_vs_random)
-    );
+    swarm_bench::registry::run_shim("summary");
 }

@@ -1,0 +1,69 @@
+//! The unified harness binary: every figure and table of the evaluation as
+//! one subcommand each, driven by the [`swarm_bench::registry`].
+//!
+//! ```text
+//! swarm list                 # what can I run?
+//! swarm fig2 --scale small   # any figure, same flags as the legacy binary
+//! swarm summary --json
+//! swarm sysconfig
+//! swarm bench --out BENCH_mechanisms.json
+//! ```
+//!
+//! The legacy per-figure binaries (`fig2`, `table2`, ...) still work; they
+//! are two-line shims over the same registry, and their output is
+//! byte-identical to the corresponding `swarm` subcommand.
+
+use swarm_bench::registry;
+
+fn print_usage() {
+    println!("usage: swarm <command> [flags...]");
+    println!();
+    println!("Reproduces the figures and tables of 'Data-Centric Execution of");
+    println!("Speculative Parallel Programs' (MICRO 2016). Common flags:");
+    println!("  --cores 1,4,16,64     core counts to sweep");
+    println!("  --scale tiny|small|medium");
+    println!("  --seed N              workload seed");
+    println!("  --apps a,b,c          restrict the benchmark set");
+    println!("  --schedulers r,s,h,l  restrict the scheduler comparison");
+    println!("  --jobs N              worker threads (output is identical at any N)");
+    println!();
+    println!("commands:");
+    print_command_table();
+    println!();
+    println!("Run 'swarm list' for the same table, or see REPRODUCING.md for");
+    println!("per-figure details and expected runtimes.");
+}
+
+fn print_command_table() {
+    for spec in registry::REGISTRY {
+        println!("  {:<12} {}", spec.name, spec.about);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("--help") | Some("-h") | Some("help") => print_usage(),
+        Some("list") => print_command_table(),
+        Some(name) => match registry::find(name) {
+            Some(spec) => {
+                let rest = &args[1..];
+                if rest.iter().any(|a| a == "--help" || a == "-h") {
+                    // Figure commands ignore unknown flags by design, so a
+                    // help request must be intercepted here or it would run
+                    // the full sweep instead.
+                    println!("swarm {}: {}", spec.name, spec.about);
+                    println!();
+                    print_usage();
+                } else {
+                    (spec.run)(rest);
+                }
+            }
+            None => {
+                eprintln!("swarm: unknown command '{name}'");
+                eprintln!("Run 'swarm list' to see the available commands.");
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,19 +1,92 @@
-//! Minimal command-line parsing shared by the harness binaries.
+//! Minimal command-line parsing shared by every harness entry point (the
+//! unified `swarm` binary's subcommands and the legacy per-figure shims).
 //!
-//! Every figure binary accepts:
+//! Every figure command accepts:
 //!
 //! * `--cores 1,4,16,64` — the core counts to sweep (default `1,4,16,64`);
 //! * `--scale tiny|small|medium` — workload size (default `small`);
 //! * `--seed N` — workload seed (default fixed);
 //! * `--apps a,b,c` — restrict to a subset of benchmarks where applicable;
+//! * `--schedulers random,stealing,hints,lbhints` — restrict the scheduler
+//!   comparison;
 //! * `--jobs N` — worker threads for the experiment matrix (default: all
 //!   available hardware threads; `--jobs 1` forces the serial path).
+
+use std::str::FromStr;
 
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId, InputScale};
 
 use crate::pool::Pool;
 use crate::runner::RunRequest;
+
+/// A list-valued flag that remembers whether the user set it explicitly.
+///
+/// Several figures narrow the default app or scheduler set (`fig4` omits
+/// LBHints, `table2` defaults to the beyond-Table-I workloads), but an
+/// explicit request must always win — even when it happens to name the
+/// default set. This used to be hand-rolled twice (`apps`/`apps_explicit`,
+/// `schedulers`/`schedulers_explicit`); [`ListArg`] is the one shared
+/// implementation.
+///
+/// Dereferences to a slice, so `args.apps.iter()`, `.len()` and
+/// `.contains(..)` work directly.
+#[derive(Debug, Clone)]
+pub struct ListArg<T> {
+    values: Vec<T>,
+    explicit: bool,
+}
+
+impl<T: Clone> ListArg<T> {
+    /// A default (non-explicit) value.
+    pub fn implicit(default: Vec<T>) -> Self {
+        ListArg { values: default, explicit: false }
+    }
+
+    /// Whether the user set this flag explicitly.
+    pub fn is_explicit(&self) -> bool {
+        self.explicit
+    }
+
+    /// The parsed values, replaced by `figure_default` when the flag was not
+    /// given explicitly. An explicit value always wins, even when it names
+    /// the global default set.
+    pub fn or(&self, figure_default: &[T]) -> Vec<T> {
+        if self.explicit {
+            self.values.clone()
+        } else {
+            figure_default.to_vec()
+        }
+    }
+
+    /// Overwrite with values parsed from a comma-separated flag argument and
+    /// mark the flag explicit. Keeps the previous value (and implicitness)
+    /// when nothing in `raw` parses, matching the harness's tolerance for
+    /// malformed flags.
+    fn set_from_csv(&mut self, raw: &str)
+    where
+        T: FromStr,
+    {
+        let parsed = parse_csv(raw);
+        if !parsed.is_empty() {
+            self.values = parsed;
+            self.explicit = true;
+        }
+    }
+}
+
+impl<T> std::ops::Deref for ListArg<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.values
+    }
+}
+
+/// Parse a comma-separated list, dropping elements that fail to parse.
+fn parse_csv<T: FromStr>(raw: &str) -> Vec<T> {
+    raw.split(',').filter_map(|s| s.trim().parse().ok()).collect()
+}
 
 /// Parsed harness options.
 #[derive(Debug, Clone)]
@@ -26,15 +99,10 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Benchmarks to run (defaults to the nine of Table I; `table2` defaults
     /// to the beyond-Table-I set via [`HarnessArgs::apps_or`]).
-    pub apps: Vec<BenchmarkId>,
-    /// Whether `--apps` was explicitly passed (so binaries with a different
-    /// default app set can tell an explicit request apart from the default).
-    pub apps_explicit: bool,
-    /// Schedulers to compare (defaults to Random/Stealing/Hints/LBHints).
-    pub schedulers: Vec<Scheduler>,
-    /// Whether `--schedulers` was explicitly passed (so an explicit request
-    /// for the full set is distinguishable from the default).
-    pub schedulers_explicit: bool,
+    pub apps: ListArg<BenchmarkId>,
+    /// Schedulers to compare (defaults to Random/Stealing/Hints/LBHints;
+    /// several figures narrow it via [`HarnessArgs::schedulers_or`]).
+    pub schedulers: ListArg<Scheduler>,
     /// Worker threads for the experiment matrix (0 = available parallelism).
     pub jobs: usize,
 }
@@ -45,20 +113,19 @@ impl Default for HarnessArgs {
             cores: vec![1, 4, 16, 64],
             scale: InputScale::Small,
             seed: 0xF1605,
-            apps: BenchmarkId::TABLE1.to_vec(),
-            apps_explicit: false,
-            schedulers: Scheduler::ALL.to_vec(),
-            schedulers_explicit: false,
+            apps: ListArg::implicit(BenchmarkId::TABLE1.to_vec()),
+            schedulers: ListArg::implicit(Scheduler::ALL.to_vec()),
             jobs: 0,
         }
     }
 }
 
 impl HarnessArgs {
-    /// Parse `std::env::args()`. Unknown flags are ignored so binaries can
-    /// add their own.
-    pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1).collect())
+    /// Parse the argument slice a `swarm` subcommand receives (everything
+    /// after the subcommand name). Unknown flags are ignored so commands
+    /// can add their own (e.g. `summary --json`).
+    pub fn parse_args(args: &[String]) -> Self {
+        Self::parse_from(args.to_vec())
     }
 
     /// Parse from an explicit argument vector (for tests).
@@ -69,8 +136,7 @@ impl HarnessArgs {
             match flag.as_str() {
                 "--cores" => {
                     if let Some(v) = it.next() {
-                        let cores: Vec<u32> =
-                            v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                        let cores: Vec<u32> = parse_csv(&v);
                         if !cores.is_empty() {
                             parsed.cores = cores;
                         }
@@ -94,12 +160,7 @@ impl HarnessArgs {
                 }
                 "--apps" => {
                     if let Some(v) = it.next() {
-                        let apps: Vec<BenchmarkId> =
-                            v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
-                        if !apps.is_empty() {
-                            parsed.apps = apps;
-                            parsed.apps_explicit = true;
-                        }
+                        parsed.apps.set_from_csv(&v);
                     }
                 }
                 "--jobs" => {
@@ -111,12 +172,7 @@ impl HarnessArgs {
                 }
                 "--schedulers" => {
                     if let Some(v) = it.next() {
-                        let schedulers: Vec<Scheduler> =
-                            v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
-                        if !schedulers.is_empty() {
-                            parsed.schedulers = schedulers;
-                            parsed.schedulers_explicit = true;
-                        }
+                        parsed.schedulers.set_from_csv(&v);
                     }
                 }
                 _ => {}
@@ -143,15 +199,11 @@ impl HarnessArgs {
     }
 
     /// The benchmarks to run, replaced by `figure_default` when the user did
-    /// not pass `--apps` (the `table2` binary defaults to the beyond-Table-I
-    /// workloads instead of the Table I nine). An explicit `--apps` always
-    /// wins.
+    /// not pass `--apps` (the `table2` command defaults to the
+    /// beyond-Table-I workloads instead of the Table I nine). An explicit
+    /// `--apps` always wins.
     pub fn apps_or(&self, figure_default: &[BenchmarkId]) -> Vec<BenchmarkId> {
-        if self.apps_explicit {
-            self.apps.clone()
-        } else {
-            figure_default.to_vec()
-        }
+        self.apps.or(figure_default)
     }
 
     /// The schedulers to compare, restricted to `figure_default` when the
@@ -159,11 +211,7 @@ impl HarnessArgs {
     /// only appears from Fig. 10 on). An explicit `--schedulers` always
     /// wins, even when it names the full default set.
     pub fn schedulers_or(&self, figure_default: &[Scheduler]) -> Vec<Scheduler> {
-        if self.schedulers_explicit {
-            self.schedulers.clone()
-        } else {
-            figure_default.to_vec()
-        }
+        self.schedulers.or(figure_default)
     }
 }
 
@@ -177,11 +225,12 @@ mod tests {
 
     #[test]
     fn defaults_cover_the_table1_apps_and_all_schedulers() {
-        // The default app set stays the Table I nine so the figure binaries
+        // The default app set stays the Table I nine so the figure commands
         // keep reproducing the paper's evaluation; the beyond-Table-I
         // workloads are opted into via `--apps` or `apps_or`.
         let args = HarnessArgs::default();
-        assert_eq!(args.apps, BenchmarkId::TABLE1.to_vec());
+        assert_eq!(&*args.apps, BenchmarkId::TABLE1);
+        assert!(!args.apps.is_explicit());
         assert_eq!(args.schedulers.len(), 4);
         assert_eq!(args.max_cores(), 64);
     }
@@ -191,7 +240,7 @@ mod tests {
         let beyond = BenchmarkId::BEYOND_TABLE1;
         assert_eq!(HarnessArgs::default().apps_or(&beyond), beyond.to_vec());
         let explicit = HarnessArgs::parse_from(s(&["--apps", "kvstore,des"]));
-        assert!(explicit.apps_explicit);
+        assert!(explicit.apps.is_explicit());
         assert_eq!(
             explicit.apps_or(&beyond),
             vec![BenchmarkId::Kvstore, BenchmarkId::Des],
@@ -213,7 +262,7 @@ mod tests {
         ]));
         assert_eq!(args.cores, vec![1, 2, 8]);
         assert_eq!(args.scale, InputScale::Tiny);
-        assert_eq!(args.apps, vec![BenchmarkId::Des, BenchmarkId::Kmeans]);
+        assert_eq!(&*args.apps, [BenchmarkId::Des, BenchmarkId::Kmeans]);
         assert_eq!(args.seed, 9);
     }
 
@@ -221,7 +270,11 @@ mod tests {
     fn ignores_unknown_flags_and_bad_values() {
         let args = HarnessArgs::parse_from(s(&["--wat", "--cores", "x", "--schedulers", "hints"]));
         assert_eq!(args.cores, vec![1, 4, 16, 64]);
-        assert_eq!(args.schedulers, vec![Scheduler::Hints]);
+        assert_eq!(&*args.schedulers, [Scheduler::Hints]);
+        // A wholly unparsable list leaves the default in place, implicitly.
+        let bad = HarnessArgs::parse_from(s(&["--apps", "zorp,blag"]));
+        assert!(!bad.apps.is_explicit());
+        assert_eq!(&*bad.apps, BenchmarkId::TABLE1);
     }
 
     #[test]
@@ -243,7 +296,15 @@ mod tests {
         // Explicitly naming the full default set is honoured, not silently
         // replaced by the figure default.
         let full = HarnessArgs::parse_from(s(&["--schedulers", "random,stealing,hints,lbhints"]));
-        assert!(full.schedulers_explicit);
+        assert!(full.schedulers.is_explicit());
         assert_eq!(full.schedulers_or(&subset), Scheduler::ALL.to_vec());
+    }
+
+    #[test]
+    fn list_args_deref_to_slices() {
+        let args = HarnessArgs::parse_from(s(&["--apps", "des"]));
+        assert!(args.apps.contains(&BenchmarkId::Des));
+        assert_eq!(args.apps.len(), 1);
+        assert_eq!(args.apps.iter().count(), 1);
     }
 }

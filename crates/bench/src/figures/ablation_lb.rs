@@ -1,0 +1,52 @@
+//! Section VI-A ablation: committed-cycles vs idle-task-count as the load
+//! balancer's signal, on the four load-imbalanced benchmarks. The paper
+//! finds the idle-count variant performs significantly worse because
+//! balancing queued tasks does not balance useful work.
+
+use crate::{HarnessArgs, RunRequest};
+use spatial_hints::Scheduler;
+use swarm_apps::{AppSpec, BenchmarkId};
+
+const SIGNALS: [Scheduler; 3] = [Scheduler::Hints, Scheduler::LbHints, Scheduler::IdleLb];
+
+/// Run the `ablation_lb` command with the argument slice that follows the
+/// subcommand name (`swarm ablation_lb <args...>`).
+pub fn run(args: &[String]) {
+    let args = HarnessArgs::parse_args(args);
+    let args = &args;
+    let cores = args.max_cores();
+    let benches: Vec<BenchmarkId> =
+        [BenchmarkId::Des, BenchmarkId::Nocsim, BenchmarkId::Silo, BenchmarkId::Kmeans]
+            .into_iter()
+            .filter(|b| args.apps.contains(b))
+            .collect();
+
+    let requests: Vec<RunRequest> = benches
+        .iter()
+        .flat_map(|&bench| {
+            SIGNALS
+                .iter()
+                .map(move |&scheduler| args.request(AppSpec::coarse(bench), scheduler, cores))
+        })
+        .collect();
+    let all_stats = args.pool().run_matrix(&requests);
+
+    println!("Section VI-A ablation at {cores} cores: load-balancer signal comparison");
+    println!(
+        "{:<8}{:>12}{:>12}{:>12}{:>16}{:>16}",
+        "app", "Hints", "LBHints", "IdleLB", "LB vs Hints", "Idle vs Hints"
+    );
+    for (bench, stats) in benches.iter().zip(all_stats.chunks(SIGNALS.len())) {
+        let [hints, lb, idle] = [0, 1, 2].map(|i| stats[i].runtime_cycles as f64);
+        println!(
+            "{:<8}{:>12.0}{:>12.0}{:>12.0}{:>15.1}%{:>15.1}%",
+            bench.name(),
+            hints,
+            lb,
+            idle,
+            (hints / lb - 1.0) * 100.0,
+            (hints / idle - 1.0) * 100.0
+        );
+    }
+    println!("(positive percentages mean the load balancer improved over plain Hints)");
+}

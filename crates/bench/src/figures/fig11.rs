@@ -1,0 +1,39 @@
+//! Fig. 11: core-cycle breakdown of des, nocsim, silo and kmeans at the
+//! largest core count under Random, Stealing, Hints and LBHints (normalized
+//! to Random) — the benchmarks where the data-centric load balancer matters.
+
+use crate::{format_breakdown_table, HarnessArgs};
+use swarm_apps::{AppSpec, BenchmarkId};
+
+/// Run the `fig11` command with the argument slice that follows the
+/// subcommand name (`swarm fig11 <args...>`).
+pub fn run(args: &[String]) {
+    let args = HarnessArgs::parse_args(args);
+    let args = &args;
+    let cores = args.max_cores();
+    let benches: Vec<BenchmarkId> =
+        [BenchmarkId::Des, BenchmarkId::Nocsim, BenchmarkId::Silo, BenchmarkId::Kmeans]
+            .into_iter()
+            .filter(|b| args.apps.contains(b))
+            .collect();
+
+    let entries = args.pool().run_labeled(
+        benches
+            .iter()
+            .flat_map(|&bench| {
+                let spec = AppSpec::coarse(bench);
+                args.schedulers
+                    .iter()
+                    .map(move |&s| (s.name().to_string(), args.request(spec, s, cores)))
+            })
+            .collect(),
+    );
+
+    for (bench, bench_entries) in benches.iter().zip(entries.chunks(args.schedulers.len())) {
+        println!(
+            "Fig. 11 [{}]: core-cycle breakdown at {cores} cores (normalized to Random)",
+            bench.name()
+        );
+        println!("{}", format_breakdown_table(bench_entries));
+    }
+}

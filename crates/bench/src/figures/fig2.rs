@@ -1,0 +1,36 @@
+//! Fig. 2: motivation — des under Random, Stealing, Hints and LBHints:
+//! (a) speedup from 1 to N cores and (b) cycle breakdown at the largest
+//! core count, normalized to Random.
+
+use crate::{format_breakdown_table, format_speedup_table, CurveSpec, HarnessArgs};
+use swarm_apps::{AppSpec, BenchmarkId};
+
+/// Run the `fig2` command with the argument slice that follows the
+/// subcommand name (`swarm fig2 <args...>`).
+pub fn run(args: &[String]) {
+    let args = HarnessArgs::parse_args(args);
+    let spec = AppSpec::coarse(BenchmarkId::Des);
+
+    // One matrix serves both parts: the largest core count is always part
+    // of the sweep, so Fig. 2b reuses those points instead of re-running.
+    let series: Vec<CurveSpec> =
+        args.schedulers.iter().map(|&s| (s.name().to_string(), spec, s)).collect();
+    let curves = args.pool().speedup_curves(&series, &args.cores, args.scale, args.seed);
+
+    println!("Fig. 2a: des speedup vs cores (relative to 1-core Swarm)");
+    println!("{}", format_speedup_table(&curves));
+
+    let max = args.max_cores();
+    println!("Fig. 2b: des cycle breakdown at {max} cores (normalized to Random)");
+    let entries: Vec<_> = curves
+        .into_iter()
+        .map(|(label, points)| {
+            let at_max = points
+                .into_iter()
+                .find(|p| p.request.cores == max)
+                .expect("max_cores is the largest swept core count");
+            (label, at_max.stats)
+        })
+        .collect();
+    println!("{}", format_breakdown_table(&entries));
+}

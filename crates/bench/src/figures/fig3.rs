@@ -1,0 +1,30 @@
+//! Fig. 3: architecture-independent classification of memory accesses made
+//! by committing tasks, per application: arguments, single-/multi-hint ×
+//! read-only/read-write.
+
+use crate::{classification_header, format_classification_row, HarnessArgs, RunRequest};
+use spatial_hints::{classify_accesses, ClassifierConfig, Scheduler};
+use swarm_apps::AppSpec;
+
+/// Run the `fig3` command with the argument slice that follows the
+/// subcommand name (`swarm fig3 <args...>`).
+pub fn run(args: &[String]) {
+    let args = HarnessArgs::parse_args(args);
+    let requests: Vec<RunRequest> = args
+        .apps
+        .iter()
+        .map(|&bench| args.request(AppSpec::coarse(bench), Scheduler::Hints, 4))
+        .collect();
+    let all_stats = args.pool().run_matrix_profiled(&requests);
+
+    println!("Fig. 3: classification of memory accesses (fractions of each app's total)");
+    print!("{}", classification_header());
+    for (bench, stats) in args.apps.iter().zip(&all_stats) {
+        let classification =
+            classify_accesses(&stats.committed_accesses, ClassifierConfig::default());
+        print!(
+            "{}",
+            format_classification_row(bench.name(), &classification, classification.total())
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! One module per figure/table command of the evaluation.
+//!
+//! Each module exposes a single `run(args: &[String])` entry point taking
+//! the argument slice that follows the subcommand name; the
+//! [`registry`](crate::registry) maps subcommand names to these entry
+//! points, and both the unified `swarm` binary and the legacy per-figure
+//! shim binaries dispatch through it. Keeping the bodies here (instead of
+//! in `src/bin/*.rs`) means the figure logic is ordinary library code:
+//! unit-testable, documented, and free of per-binary argument-plumbing
+//! boilerplate.
+
+pub mod ablation_lb;
+pub mod bench_snapshot;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod summary;
+pub mod sysconfig;
+pub mod table1;
+pub mod table2;

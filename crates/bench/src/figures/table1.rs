@@ -1,0 +1,46 @@
+//! Table I: benchmark information — source, input, 1-core Swarm run time,
+//! 1-core Swarm vs tuned serial, number of task functions, hint patterns.
+//!
+//! The "vs serial" column compares the 1-core Swarm run time against an
+//! idealized serial execution (the same committed work without any
+//! task-management or speculation overhead), which is how our substrate can
+//! approximate the paper's tuned-serial comparison.
+
+use crate::{HarnessArgs, RunRequest};
+use spatial_hints::Scheduler;
+use swarm_apps::AppSpec;
+
+/// Run the `table1` command with the argument slice that follows the
+/// subcommand name (`swarm table1 <args...>`).
+pub fn run(args: &[String]) {
+    let args = HarnessArgs::parse_args(args);
+    let requests: Vec<RunRequest> = args
+        .apps
+        .iter()
+        .map(|&bench| args.request(AppSpec::coarse(bench), Scheduler::Random, 1))
+        .collect();
+    let all_stats = args.pool().run_matrix(&requests);
+
+    println!("Table I: benchmark information (scale: {:?}, seed: {:#x})", args.scale, args.seed);
+    println!(
+        "{:<8} {:<20} {:<22} {:>14} {:>12} {:>6}  hint pattern",
+        "bench", "source", "paper input", "1c run (cyc)", "vs serial", "#fns"
+    );
+    for (&bench, stats) in args.apps.iter().zip(&all_stats) {
+        let num_fns = AppSpec::coarse(bench).build(args.scale, args.seed).num_task_fns();
+        // Idealized serial time: the committed work minus queueing overheads
+        // is what a tuned serial implementation would execute.
+        let serial_estimate = stats.breakdown.committed.max(1);
+        let vs_serial = serial_estimate as f64 / stats.runtime_cycles.max(1) as f64;
+        println!(
+            "{:<8} {:<20} {:<22} {:>14} {:>11.0}% {:>6}  {}",
+            bench.name(),
+            bench.source(),
+            bench.paper_input(),
+            stats.runtime_cycles,
+            (vs_serial - 1.0) * 100.0,
+            num_fns,
+            bench.hint_pattern()
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! the paper): runs the nine benchmarks under the four schedulers at several
 //! core counts and prints the tables and series behind every figure.
 //!
-//! The crate splits into three layers:
+//! The crate splits into these layers:
 //!
 //! * [`runner`] — describing and executing one simulation point
 //!   ([`RunRequest`] → [`swarm_sim::RunStats`]), plus the hand-written
@@ -11,22 +11,27 @@
 //!   thread pool ([`Pool`]) that executes whole scheduler × app × core-count
 //!   matrices across OS threads and joins results in deterministic request
 //!   order;
-//! * [`report`] — plain-text table formatting matching the paper's figures.
-//!
-//! The harness binaries (one per table/figure — see `REPRODUCING.md` in the
-//! repository root for the full index) are thin wrappers over these layers,
-//! parameterized by [`HarnessArgs`] (`--cores`, `--scale`, `--seed`,
-//! `--apps`, `--schedulers`, `--jobs`).
+//! * [`report`] — plain-text table formatting matching the paper's figures;
+//! * [`figures`] — the body of every figure/table command, parameterized by
+//!   [`HarnessArgs`] (`--cores`, `--scale`, `--seed`, `--apps`,
+//!   `--schedulers`, `--jobs`);
+//! * [`registry`] — the name → figure table behind the unified `swarm`
+//!   binary (`swarm list`, `swarm fig2 ...`) and the legacy per-figure shim
+//!   binaries (see `REPRODUCING.md` in the repository root for the full
+//!   index).
 
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod figures;
 pub mod pool;
+pub mod registry;
 pub mod report;
 pub mod runner;
 
-pub use cli::HarnessArgs;
+pub use cli::{HarnessArgs, ListArg};
 pub use pool::{CurveGroup, CurveSpec, LabeledCurve, Pool};
+pub use registry::{find as find_command, FigureSpec, REGISTRY};
 pub use report::{
     classification_header, format_breakdown_table, format_classification_row, format_speedup_table,
     format_traffic_table, gmean,

@@ -2,8 +2,7 @@
 
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, InputScale};
-use swarm_sim::{Engine, RunStats};
-use swarm_types::SystemConfig;
+use swarm_sim::{RunStats, Sim};
 
 /// Everything needed to run one simulation point.
 ///
@@ -64,13 +63,20 @@ pub fn run_app_profiled(request: RunRequest) -> RunStats {
 /// Shared single-point entry used by both the serial helpers above and the
 /// thread-pool workers in [`crate::Pool`].
 pub(crate) fn run_point(request: RunRequest, profiled: bool) -> RunStats {
-    let cfg = SystemConfig::with_cores(request.cores);
-    let app = request.spec.build(request.scale, request.seed);
-    let mapper = request.scheduler.build(&cfg);
-    let mut engine = Engine::new(cfg, app, mapper);
-    if profiled {
-        engine.enable_profiling();
-    }
+    let mut engine = Sim::builder()
+        .cores(request.cores)
+        .app_boxed(request.spec.build(request.scale, request.seed))
+        .scheduler(request.scheduler)
+        .profiling(profiled)
+        .build()
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} under {} at {} cores is not a valid simulation: {e}",
+                request.spec.name(),
+                request.scheduler,
+                request.cores
+            )
+        });
     engine.run().unwrap_or_else(|e| {
         panic!(
             "{} under {} at {} cores failed: {e}",

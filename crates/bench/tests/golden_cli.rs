@@ -1,0 +1,128 @@
+//! Golden-output test: every `swarm <figure>` subcommand must be
+//! byte-identical to the legacy standalone binary it subsumed, at the same
+//! flags. This pins the shim/registry redesign to the old binaries' exact
+//! output — the same property the release pipeline checks at `--scale
+//! small` against the pinned PR 4 outputs, kept fast here by running at
+//! `--scale tiny` with trimmed app sets.
+//!
+//! `bench` (the old `bench_snapshot`) is deliberately absent: it measures
+//! wall-clock times, so its output is legitimately nondeterministic.
+
+use std::process::{Command, Output};
+
+/// Run one harness binary with `args` and return its stdout, asserting a
+/// clean exit.
+fn stdout_of(bin: &str, args: &[&str]) -> Vec<u8> {
+    let Output { status, stdout, stderr } =
+        Command::new(bin).args(args).output().unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+    assert!(
+        status.success(),
+        "{bin} {args:?} exited with {status}; stderr:\n{}",
+        String::from_utf8_lossy(&stderr)
+    );
+    stdout
+}
+
+/// Assert `swarm <subcommand> <args...>` and `<legacy binary> <args...>`
+/// print identical bytes.
+fn assert_identical(swarm_bin: &str, legacy_bin: &str, subcommand: &str, args: &[&str]) {
+    let mut swarm_args = vec![subcommand];
+    swarm_args.extend_from_slice(args);
+    let via_swarm = stdout_of(swarm_bin, &swarm_args);
+    let via_legacy = stdout_of(legacy_bin, args);
+    assert!(
+        via_swarm == via_legacy,
+        "`swarm {subcommand} {args:?}` differs from the legacy `{legacy_bin}`:\n\
+         --- swarm ---\n{}\n--- legacy ---\n{}",
+        String::from_utf8_lossy(&via_swarm),
+        String::from_utf8_lossy(&via_legacy),
+    );
+    assert!(!via_swarm.is_empty(), "{subcommand} printed nothing");
+}
+
+/// Fast sweep flags: tiny inputs, two core counts, a 2-worker pool (the
+/// pool is byte-identical at any job count, so this also keeps exercising
+/// the parallel path).
+const SWEEP: &[&str] = &["--scale", "tiny", "--cores", "1,8", "--jobs", "2"];
+
+macro_rules! golden {
+    ($test:ident, $name:literal, $legacy_env:literal, extra: $extra:expr) => {
+        #[test]
+        fn $test() {
+            let mut args: Vec<&str> = SWEEP.to_vec();
+            args.extend_from_slice($extra);
+            assert_identical(env!("CARGO_BIN_EXE_swarm"), env!($legacy_env), $name, &args);
+        }
+    };
+}
+
+// The two-app subsets keep the tiny sweeps fast while still covering the
+// multi-app chunking logic of each figure; fine-grain figures pick apps
+// that have fine-grain variants.
+golden!(fig2_matches_legacy, "fig2", "CARGO_BIN_EXE_fig2", extra: &[]);
+golden!(fig3_matches_legacy, "fig3", "CARGO_BIN_EXE_fig3", extra: &["--apps", "des,sssp"]);
+golden!(fig4_matches_legacy, "fig4", "CARGO_BIN_EXE_fig4", extra: &["--apps", "des,sssp"]);
+golden!(fig5_matches_legacy, "fig5", "CARGO_BIN_EXE_fig5", extra: &["--apps", "des,sssp"]);
+golden!(fig6_matches_legacy, "fig6", "CARGO_BIN_EXE_fig6", extra: &["--apps", "sssp,astar"]);
+golden!(fig7_matches_legacy, "fig7", "CARGO_BIN_EXE_fig7", extra: &["--apps", "sssp,astar"]);
+golden!(fig8_matches_legacy, "fig8", "CARGO_BIN_EXE_fig8", extra: &["--apps", "sssp,astar"]);
+golden!(fig10_matches_legacy, "fig10", "CARGO_BIN_EXE_fig10", extra: &["--apps", "des,sssp"]);
+golden!(fig11_matches_legacy, "fig11", "CARGO_BIN_EXE_fig11", extra: &["--apps", "des,kmeans"]);
+golden!(table1_matches_legacy, "table1", "CARGO_BIN_EXE_table1", extra: &["--apps", "des,sssp"]);
+golden!(table2_matches_legacy, "table2", "CARGO_BIN_EXE_table2", extra: &[]);
+golden!(
+    ablation_lb_matches_legacy,
+    "ablation-lb",
+    "CARGO_BIN_EXE_ablation_lb",
+    extra: &["--apps", "des,kmeans"]
+);
+golden!(
+    summary_matches_legacy,
+    "summary",
+    "CARGO_BIN_EXE_summary",
+    extra: &["--apps", "des,sssp"]
+);
+golden!(
+    summary_json_matches_legacy,
+    "summary",
+    "CARGO_BIN_EXE_summary",
+    extra: &["--apps", "des,sssp", "--json"]
+);
+
+#[test]
+fn sysconfig_matches_legacy() {
+    // No sweep flags: sysconfig runs no simulations.
+    assert_identical(
+        env!("CARGO_BIN_EXE_swarm"),
+        env!("CARGO_BIN_EXE_sysconfig"),
+        "sysconfig",
+        &[],
+    );
+}
+
+#[test]
+fn legacy_alias_names_resolve_too() {
+    // `swarm ablation_lb` (the legacy binary's name) must behave exactly
+    // like the canonical `swarm ablation-lb`.
+    let swarm = env!("CARGO_BIN_EXE_swarm");
+    let args = ["--scale", "tiny", "--cores", "1,4", "--jobs", "2", "--apps", "des"];
+    let dashed = stdout_of(swarm, &[&["ablation-lb"], &args[..]].concat());
+    let underscored = stdout_of(swarm, &[&["ablation_lb"], &args[..]].concat());
+    assert_eq!(dashed, underscored);
+}
+
+#[test]
+fn swarm_list_names_every_command() {
+    let listing = String::from_utf8(stdout_of(env!("CARGO_BIN_EXE_swarm"), &["list"])).unwrap();
+    for spec in swarm_bench::REGISTRY {
+        assert!(listing.contains(spec.name), "swarm list omits {}", spec.name);
+    }
+}
+
+#[test]
+fn unknown_commands_fail_with_a_hint() {
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_swarm")).arg("fig9").output().expect("spawning swarm");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("swarm list"));
+}

@@ -97,6 +97,15 @@ impl Scheduler {
     }
 }
 
+/// Schedulers plug straight into [`swarm_sim::SimBuilder::scheduler`]:
+/// the mapper is instantiated once the builder has settled the machine
+/// configuration, so seeded mappers see the final seed and tile count.
+impl swarm_sim::MapperFactory for Scheduler {
+    fn build_mapper(&self, cfg: &SystemConfig) -> Box<dyn TaskMapper> {
+        self.build(cfg)
+    }
+}
+
 impl std::fmt::Display for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
@@ -147,5 +156,19 @@ mod tests {
         assert!(Scheduler::Hints.build(&cfg).serialize_same_hint());
         assert!(Scheduler::LbHints.build(&cfg).serialize_same_hint());
         assert!(Scheduler::LbHints.build(&cfg).bucket_of(swarm_types::Hint::value(1)).is_some());
+    }
+
+    #[test]
+    fn schedulers_act_as_mapper_factories() {
+        // The MapperFactory impl must hand out exactly what build() does, so
+        // SimBuilder-constructed engines match hand-wired ones.
+        let cfg = SystemConfig::small();
+        for s in Scheduler::ALL {
+            let direct = s.build(&cfg);
+            let via_factory = swarm_sim::MapperFactory::build_mapper(&s, &cfg);
+            assert_eq!(direct.name(), via_factory.name());
+            assert_eq!(direct.serialize_same_hint(), via_factory.serialize_same_hint());
+            assert_eq!(direct.steals(), via_factory.steals());
+        }
     }
 }

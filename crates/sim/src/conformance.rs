@@ -33,7 +33,7 @@
 
 use swarm_types::SystemConfig;
 
-use crate::{Engine, RunStats, SwarmApp, TaskMapper};
+use crate::{RunStats, Sim, SwarmApp, TaskMapper};
 
 /// A named way of building a scheduler for a given machine configuration.
 pub struct MapperSpec<'a> {
@@ -162,7 +162,11 @@ fn run_once(
     let cfg = SystemConfig::with_cores(cores);
     let app = make_app();
     let name = app.name().to_string();
-    let mut engine = Engine::new(cfg.clone(), app, (mapper.build)(&cfg));
+    let mapper_impl = (mapper.build)(&cfg);
+    let mut engine =
+        Sim::builder().config(cfg).app_boxed(app).mapper(mapper_impl).build().map_err(|e| {
+            format!("{name} under {} at {cores} cores: invalid simulation: {e}", mapper.name)
+        })?;
     let stats = engine
         .run()
         .map_err(|e| format!("{name} under {} at {cores} cores failed: {e}", mapper.name))?;

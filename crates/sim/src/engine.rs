@@ -23,6 +23,7 @@ use swarm_types::{CoreId, Hint, SimError, SimResult, SystemConfig, TaskId, TileI
 
 use crate::app::{ExecutionOutcome, SwarmApp, TaskCtx};
 use crate::mapper::TaskMapper;
+use crate::observer::{CoreWaitEvent, DequeueEvent, SimObserver, WaitKind};
 use crate::state::{CoreState, SimState};
 use crate::stats::RunStats;
 use crate::task::{PendingChild, TaskDescriptor, TaskStatus};
@@ -44,7 +45,8 @@ enum Event {
     LbEpoch,
 }
 
-/// The simulation engine. Construct one per run.
+/// The simulation engine. Construct one per run — most callers go through
+/// the validated [`crate::SimBuilder`] rather than [`Engine::new`].
 pub struct Engine {
     state: SimState,
     app: Box<dyn SwarmApp>,
@@ -54,14 +56,15 @@ pub struct Engine {
     now: u64,
     executed_bodies: u64,
     task_limit: u64,
-    gvt_updates: u64,
-    lb_reconfigs: u64,
     pending_children: HashMap<TaskId, Vec<PendingChild>>,
     validate_result: bool,
 }
 
 impl Engine {
     /// Create an engine for `cfg` running `app` under `mapper`.
+    ///
+    /// Prefer [`crate::Sim::builder`], which validates the configuration and
+    /// returns a typed error instead of panicking.
     ///
     /// # Panics
     ///
@@ -76,11 +79,16 @@ impl Engine {
             now: 0,
             executed_bodies: 0,
             task_limit: DEFAULT_TASK_LIMIT,
-            gvt_updates: 0,
-            lb_reconfigs: 0,
             pending_children: HashMap::new(),
             validate_result: true,
         }
+    }
+
+    /// Attach a custom [`SimObserver`]; it is notified after the built-in
+    /// statistics observer, in attach order.
+    pub fn add_observer(&mut self, observer: Box<dyn SimObserver>) -> &mut Self {
+        self.state.observers.attach(observer);
+        self
     }
 
     /// Enable collection of per-committed-task access traces (needed for the
@@ -157,15 +165,16 @@ impl Engine {
         let runtime = self.now;
         // Close out idle/stall accounting for cores that never woke again.
         for i in 0..self.state.cores.len() {
-            match self.state.cores[i] {
-                CoreState::Idle { since } => {
-                    self.state.breakdown.empty += runtime.saturating_sub(since);
-                }
-                CoreState::Stalled { since } => {
-                    self.state.breakdown.stall += runtime.saturating_sub(since);
-                }
-                CoreState::Busy { .. } => {}
-            }
+            let (kind, since) = match self.state.cores[i] {
+                CoreState::Idle { since } => (WaitKind::Empty, since),
+                CoreState::Stalled { since } => (WaitKind::Stalled, since),
+                CoreState::Busy { .. } => continue,
+            };
+            self.state.observers.core_wait(&CoreWaitEvent {
+                core: CoreId(i as u32),
+                kind,
+                cycles: runtime.saturating_sub(since),
+            });
         }
 
         if self.validate_result {
@@ -176,21 +185,12 @@ impl Engine {
     }
 
     fn collect_stats(&mut self, runtime: u64) -> RunStats {
-        RunStats {
-            scheduler: self.mapper.name().to_string(),
-            app: self.app.name().to_string(),
-            cores: self.state.cfg.num_cores(),
-            runtime_cycles: runtime,
-            breakdown: self.state.breakdown,
-            traffic: self.state.traffic,
-            tasks_committed: self.state.tasks_committed,
-            tasks_aborted: self.state.tasks_aborted,
-            tasks_spilled: self.state.tasks_spilled,
-            gvt_updates: self.gvt_updates,
-            lb_reconfigs: self.lb_reconfigs,
-            committed_cycles_per_tile: self.state.committed_cycles_per_tile.clone(),
-            committed_accesses: std::mem::take(&mut self.state.committed_accesses),
-        }
+        let scheduler = self.mapper.name().to_string();
+        let app = self.app.name().to_string();
+        let cores = self.state.cfg.num_cores();
+        let stats = self.state.observers.stats_mut().take_run_stats(scheduler, app, cores, runtime);
+        self.state.observers.run_end(&stats);
+        stats
     }
 
     // ------------------------------------------------------------------
@@ -246,7 +246,7 @@ impl Engine {
             if src != tile {
                 let hops = self.state.mesh.hops(src, tile);
                 let flits = self.state.mesh.flits_for_bytes(34);
-                self.state.traffic.record(TrafficClass::Task, hops, flits);
+                self.state.record_traffic(TrafficClass::Task, hops, flits);
             }
         }
         Ok(id)
@@ -258,14 +258,17 @@ impl Engine {
 
     fn account_core_transition(&mut self, core: CoreId, new_state: CoreState) {
         let old = self.state.cores[core.index()];
-        match old {
-            CoreState::Idle { since } => {
-                self.state.breakdown.empty += self.now.saturating_sub(since);
-            }
-            CoreState::Stalled { since } => {
-                self.state.breakdown.stall += self.now.saturating_sub(since);
-            }
-            CoreState::Busy { .. } => {}
+        let wait = match old {
+            CoreState::Idle { since } => Some((WaitKind::Empty, since)),
+            CoreState::Stalled { since } => Some((WaitKind::Stalled, since)),
+            CoreState::Busy { .. } => None,
+        };
+        if let Some((kind, since)) = wait {
+            self.state.observers.core_wait(&CoreWaitEvent {
+                core,
+                kind,
+                cycles: self.now.saturating_sub(since),
+            });
         }
         self.state.cores[core.index()] = new_state;
     }
@@ -380,6 +383,20 @@ impl Engine {
         self.state.tiles[tile.index()].idle.remove(&key);
         self.state.tiles[tile.index()].running.push(candidate);
         self.account_core_transition(core, CoreState::Busy { task: candidate });
+        {
+            let (ts, hint) = {
+                let desc = &self.state.record(candidate).desc;
+                (desc.ts, desc.hint)
+            };
+            self.state.observers.dequeue(&DequeueEvent {
+                task: candidate,
+                ts,
+                hint,
+                tile,
+                core,
+                now: self.now,
+            });
+        }
 
         let outcome = self.execute_body(candidate, core);
         self.executed_bodies += 1;
@@ -454,13 +471,13 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn handle_gvt(&mut self) {
-        self.gvt_updates += 1;
+        self.state.observers.gvt_update(self.now);
         // Each tile exchanges a GVT update with the arbiter (tile 0).
         let arbiter = TileId(0);
         for t in 0..self.state.cfg.num_tiles() {
             let hops = self.state.mesh.hops(TileId(t as u32), arbiter);
             let flits = self.state.mesh.control_flits();
-            self.state.traffic.record(TrafficClass::Gvt, hops, 2 * flits);
+            self.state.record_traffic(TrafficClass::Gvt, hops, 2 * flits);
         }
 
         let frontier = self.state.gvt();
@@ -525,7 +542,7 @@ impl Engine {
     fn handle_lb_epoch(&mut self) {
         let idle = self.state.idle_per_tile();
         if self.mapper.on_lb_epoch(self.now, &idle) {
-            self.lb_reconfigs += 1;
+            self.state.observers.lb_reconfig(self.now);
         }
         if self.state.remaining_tasks > 0 {
             self.schedule(self.now + self.state.cfg.lb_epoch, Event::LbEpoch);

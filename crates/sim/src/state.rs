@@ -10,11 +10,13 @@
 use std::collections::BTreeSet;
 
 use swarm_mem::{AccessKind, CacheModel, HitLevel, SimMemory};
-use swarm_noc::{Mesh, TrafficClass, TrafficStats};
+use swarm_noc::{Mesh, TrafficClass};
 use swarm_types::{Addr, CoreId, LineAddr, SystemConfig, TaskId, TileId};
 
 use crate::line_table::LineTable;
-use crate::stats::{CommittedTaskAccesses, CycleBreakdown};
+use crate::observer::{
+    AbortEvent, CommitEvent, NetworkEvent, ObserverHub, SpillDirection, SpillEvent,
+};
 use crate::task::{OrderKey, TaskDescriptor, TaskRecord, TaskStatus};
 
 /// What a core is doing right now.
@@ -74,8 +76,6 @@ pub struct SimState {
     pub caches: CacheModel,
     /// Network model.
     pub mesh: Mesh,
-    /// Traffic accounting.
-    pub traffic: TrafficStats,
     /// Speculative access table: line -> uncommitted readers/writers. An
     /// open-addressed flat table (see [`crate::line_table`]): it is consulted
     /// on every speculative access, and first SipHash, then the `HashMap`
@@ -93,24 +93,17 @@ pub struct SimState {
     /// Number of tasks that are neither committed nor discarded; the run
     /// terminates when this reaches zero.
     pub remaining_tasks: u64,
-    /// Aggregate cycle breakdown.
-    pub breakdown: CycleBreakdown,
-    /// Committed cycles per tile (load-balancing signal).
-    pub committed_cycles_per_tile: Vec<u64>,
-    /// Committed task count.
-    pub tasks_committed: u64,
-    /// Aborted execution count.
-    pub tasks_aborted: u64,
-    /// Spilled task count.
-    pub tasks_spilled: u64,
     /// Conflict checks performed.
     pub conflict_checks: u64,
     /// Conflicts that only a Bloom false positive would have flagged.
     pub bloom_false_positives: u64,
     /// Whether to record per-task access traces for committed tasks.
     pub profiling: bool,
-    /// Access traces of committed tasks (profiling only).
-    pub committed_accesses: Vec<CommittedTaskAccesses>,
+    /// The event fan-out point: the built-in statistics observer plus any
+    /// custom [`crate::SimObserver`]s. All statistics accumulation happens
+    /// here — the state only *announces* commits, aborts, dequeues, network
+    /// messages, spills and waits.
+    pub observers: ObserverHub,
     /// Tiles that received new dispatchable work or freed commit slots since
     /// the engine last drained this list.
     pub wake_tiles: Vec<TileId>,
@@ -135,25 +128,26 @@ impl SimState {
             mem: SimMemory::new(),
             caches: CacheModel::new(cfg.cache.clone(), num_tiles, cfg.cores_per_tile),
             mesh: Mesh::new(cfg.tiles_x, cfg.tiles_y, cfg.noc.clone()),
-            traffic: TrafficStats::default(),
             line_table: LineTable::new(),
             records: Vec::new(),
             tiles: vec![TileState::default(); num_tiles],
             cores: vec![CoreState::Idle { since: 0 }; num_cores],
             unfinished: BTreeSet::new(),
             remaining_tasks: 0,
-            breakdown: CycleBreakdown::default(),
-            committed_cycles_per_tile: vec![0; num_tiles],
-            tasks_committed: 0,
-            tasks_aborted: 0,
-            tasks_spilled: 0,
             conflict_checks: 0,
             bloom_false_positives: 0,
             profiling: false,
-            committed_accesses: Vec::new(),
+            observers: ObserverHub::new(num_tiles),
             wake_tiles: Vec::new(),
             cfg,
         }
+    }
+
+    /// Announce one on-chip network message to every observer (the built-in
+    /// statistics observer accumulates it into the traffic breakdown).
+    #[inline]
+    pub(crate) fn record_traffic(&mut self, class: TrafficClass, hops: u64, flits: u64) {
+        self.observers.network(&NetworkEvent { class, hops, flits });
     }
 
     /// The tile a core belongs to.
@@ -262,14 +256,15 @@ impl SimState {
             spilled += 1;
         }
         if spilled > 0 {
-            self.tasks_spilled += spilled as u64;
-            self.breakdown.spill += spilled as u64 * self.cfg.queues.spill_cost_per_task;
+            self.observers.spill(&SpillEvent {
+                tile,
+                tasks: spilled as u64,
+                cycles: spilled as u64 * self.cfg.queues.spill_cost_per_task,
+                direction: SpillDirection::Spilled,
+            });
             let hops = self.mesh.hops(tile, TileId(0)).max(1);
-            self.traffic.record(
-                TrafficClass::Memory,
-                hops,
-                self.mesh.line_flits() * spilled as u64,
-            );
+            let flits = self.mesh.line_flits() * spilled as u64;
+            self.record_traffic(TrafficClass::Memory, hops, flits);
         }
     }
 
@@ -290,10 +285,15 @@ impl SimState {
             refilled += 1;
         }
         if refilled > 0 {
-            self.breakdown.spill += refilled as u64 * self.cfg.queues.spill_cost_per_task;
+            self.observers.spill(&SpillEvent {
+                tile,
+                tasks: refilled as u64,
+                cycles: refilled as u64 * self.cfg.queues.spill_cost_per_task,
+                direction: SpillDirection::Refilled,
+            });
             let hops = self.mesh.hops(tile, TileId(0)).max(1);
-            let flits = self.mesh.line_flits();
-            self.traffic.record(TrafficClass::Memory, hops, flits * refilled as u64);
+            let flits = self.mesh.line_flits() * refilled as u64;
+            self.record_traffic(TrafficClass::Memory, hops, flits);
             self.note_wake(tile);
         }
         refilled
@@ -314,9 +314,15 @@ impl SimState {
         self.tiles[tile.index()].spilled.remove(&key);
         self.tiles[tile.index()].idle.insert(key);
         self.record_mut(task).status = TaskStatus::Idle;
-        self.breakdown.spill += self.cfg.queues.spill_cost_per_task;
+        self.observers.spill(&SpillEvent {
+            tile,
+            tasks: 1,
+            cycles: self.cfg.queues.spill_cost_per_task,
+            direction: SpillDirection::Refilled,
+        });
         let hops = self.mesh.hops(tile, TileId(0)).max(1);
-        self.traffic.record(TrafficClass::Memory, hops, self.mesh.line_flits());
+        let flits = self.mesh.line_flits();
+        self.record_traffic(TrafficClass::Memory, hops, flits);
         self.note_wake(tile);
     }
 
@@ -407,32 +413,27 @@ impl SimState {
             HitLevel::RemoteL2 { owner } => {
                 let home = self.caches.home_tile(line);
                 latency += 2 * self.mesh.latency(tile, owner) + self.mesh.latency(tile, home);
-                self.traffic.record(TrafficClass::Memory, self.mesh.hops(tile, owner), line_flits);
-                self.traffic.record(
-                    TrafficClass::Memory,
-                    self.mesh.hops(tile, home),
-                    self.mesh.control_flits(),
-                );
+                let owner_hops = self.mesh.hops(tile, owner);
+                self.record_traffic(TrafficClass::Memory, owner_hops, line_flits);
+                let home_hops = self.mesh.hops(tile, home);
+                let control_flits = self.mesh.control_flits();
+                self.record_traffic(TrafficClass::Memory, home_hops, control_flits);
             }
             HitLevel::L3 { home } => {
                 latency += 2 * self.mesh.latency(tile, home);
-                self.traffic.record(TrafficClass::Memory, self.mesh.hops(tile, home), line_flits);
+                let hops = self.mesh.hops(tile, home);
+                self.record_traffic(TrafficClass::Memory, hops, line_flits);
             }
             HitLevel::Memory { home } => {
                 latency += 2 * self.mesh.latency(tile, home);
-                self.traffic.record(
-                    TrafficClass::Memory,
-                    self.mesh.hops(tile, home) * 2 + 2,
-                    line_flits,
-                );
+                let hops = self.mesh.hops(tile, home) * 2 + 2;
+                self.record_traffic(TrafficClass::Memory, hops, line_flits);
             }
         }
         for inv in &outcome.invalidated {
-            self.traffic.record(
-                TrafficClass::Memory,
-                self.mesh.hops(tile, *inv),
-                self.mesh.control_flits(),
-            );
+            let hops = self.mesh.hops(tile, *inv);
+            let control_flits = self.mesh.control_flits();
+            self.record_traffic(TrafficClass::Memory, hops, control_flits);
         }
         latency
     }
@@ -544,16 +545,27 @@ impl SimState {
             let already_aborted = self.record(t).aborted;
             let executed = !already_aborted
                 && matches!(status, TaskStatus::Running { .. } | TaskStatus::Finished);
+            // Announce each doomed task once: a Running member that an
+            // earlier cascade already aborted (still draining on its core)
+            // was announced then, so a second cascade reaching it is not a
+            // new abort.
+            if !status.is_terminal() && !already_aborted {
+                let cycles = if executed { self.record(t).exec_cycles } else { 0 };
+                let ts = self.record(t).desc.ts;
+                self.observers.abort(&AbortEvent {
+                    task: t,
+                    ts,
+                    tile,
+                    aborter_tile,
+                    cycles,
+                    executed,
+                });
+            }
             if executed {
-                let cycles = self.record(t).exec_cycles;
-                self.breakdown.aborted += cycles;
-                self.tasks_aborted += 1;
                 // Abort message to the victim's tile.
-                self.traffic.record(
-                    TrafficClass::Abort,
-                    self.mesh.hops(aborter_tile, tile),
-                    self.mesh.control_flits(),
-                );
+                let hops = self.mesh.hops(aborter_tile, tile);
+                let control_flits = self.mesh.control_flits();
+                self.record_traffic(TrafficClass::Abort, hops, control_flits);
             }
             match status {
                 TaskStatus::Idle => {
@@ -600,11 +612,8 @@ impl SimState {
 
         // 5. Rollback memory traffic.
         if rollback_entries > 0 {
-            self.traffic.record(
-                TrafficClass::Abort,
-                1,
-                rollback_entries * self.mesh.control_flits(),
-            );
+            let flits = rollback_entries * self.mesh.control_flits();
+            self.record_traffic(TrafficClass::Abort, 1, flits);
         }
     }
 
@@ -650,15 +659,25 @@ impl SimState {
         self.unregister_access_sets(task);
         self.tiles[tile.index()].finished.remove(&key);
         self.remaining_tasks -= 1;
-        self.breakdown.committed += cycles;
-        self.committed_cycles_per_tile[tile.index()] += cycles;
-        self.tasks_committed += 1;
-        if self.profiling {
-            let rec = self.record(task);
-            self.committed_accesses.push(CommittedTaskAccesses {
-                hint: rec.desc.hint,
-                num_args: rec.desc.args.len(),
-                accesses: rec.access_trace.clone(),
+        {
+            // Take the trace out of the record so the event can borrow it
+            // while the observers borrow the rest of the state; it is not
+            // restored (commits free their speculative memory anyway).
+            let profiling = self.profiling;
+            let trace = std::mem::take(&mut self.record_mut(task).access_trace);
+            let (ts, hint, num_args) = {
+                let rec = self.record(task);
+                (rec.desc.ts, rec.desc.hint, rec.desc.args.len())
+            };
+            self.observers.commit(&CommitEvent {
+                task,
+                ts,
+                hint,
+                tile,
+                bucket,
+                cycles,
+                num_args,
+                accesses: profiling.then_some(trace.as_slice()),
             });
         }
         let rec = self.record_mut(task);
@@ -666,8 +685,6 @@ impl SimState {
         // Free speculative state memory.
         rec.undo.clear();
         rec.undo.shrink_to_fit();
-        rec.access_trace.clear();
-        rec.access_trace.shrink_to_fit();
         self.note_wake(tile);
         (tile, bucket, cycles)
     }

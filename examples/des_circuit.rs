@@ -9,8 +9,12 @@ use swarm_repro::apps::des::{Circuit, Des};
 use swarm_repro::prelude::*;
 
 fn run(circuit: Circuit, scheduler: Scheduler, cores: u32) -> RunStats {
-    let cfg = SystemConfig::with_cores(cores);
-    let mut engine = Engine::new(cfg.clone(), Box::new(Des::new(circuit)), scheduler.build(&cfg));
+    let mut engine = Sim::builder()
+        .cores(cores)
+        .app(Des::new(circuit))
+        .scheduler(scheduler)
+        .build()
+        .expect("a valid simulation description");
     engine.run().expect("des must match the serial event-driven simulation")
 }
 

@@ -12,9 +12,12 @@ use swarm_repro::apps::kvstore::{KvWorkload, Kvstore};
 use swarm_repro::prelude::*;
 
 fn run(workload: &KvWorkload, scheduler: Scheduler) -> RunStats {
-    let cfg = SystemConfig::with_cores(16);
-    let app = Kvstore::new(workload.clone());
-    let mut engine = Engine::new(cfg.clone(), Box::new(app), scheduler.build(&cfg));
+    let mut engine = Sim::builder()
+        .cores(16)
+        .app(Kvstore::new(workload.clone()))
+        .scheduler(scheduler)
+        .build()
+        .expect("a valid simulation description");
     engine.run().expect("kvstore must match its serial replay")
 }
 

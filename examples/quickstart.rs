@@ -58,9 +58,12 @@ impl SwarmApp for Bank {
 }
 
 fn run(scheduler: Scheduler) -> RunStats {
-    let cfg = SystemConfig::with_cores(16);
-    let app = Bank { accounts: 32, per_account: 16 };
-    let mut engine = Engine::new(cfg.clone(), Box::new(app), scheduler.build(&cfg));
+    let mut engine = Sim::builder()
+        .cores(16)
+        .app(Bank { accounts: 32, per_account: 16 })
+        .scheduler(scheduler)
+        .build()
+        .expect("a valid simulation description");
     engine.run().expect("the bank must balance")
 }
 

@@ -9,8 +9,12 @@ use swarm_repro::apps::silo::{Silo, SiloWorkload};
 use swarm_repro::prelude::*;
 
 fn run(workload: SiloWorkload, scheduler: Scheduler, cores: u32) -> RunStats {
-    let cfg = SystemConfig::with_cores(cores);
-    let mut engine = Engine::new(cfg.clone(), Box::new(Silo::new(workload)), scheduler.build(&cfg));
+    let mut engine = Sim::builder()
+        .cores(cores)
+        .app(Silo::new(workload))
+        .scheduler(scheduler)
+        .build()
+        .expect("a valid simulation description");
     engine.run().expect("silo must match the serial transaction order")
 }
 

@@ -8,8 +8,12 @@ use swarm_repro::apps::Graph;
 use swarm_repro::prelude::*;
 
 fn run(app: Box<dyn SwarmApp>, scheduler: Scheduler, cores: u32) -> RunStats {
-    let cfg = SystemConfig::with_cores(cores);
-    let mut engine = Engine::new(cfg.clone(), app, scheduler.build(&cfg));
+    let mut engine = Sim::builder()
+        .cores(cores)
+        .app_boxed(app)
+        .scheduler(scheduler)
+        .build()
+        .expect("a valid simulation description");
     engine.run().expect("sssp must match Dijkstra")
 }
 

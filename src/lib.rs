@@ -23,9 +23,12 @@
 //! use swarm_repro::prelude::*;
 //!
 //! // Simulate sssp on a small road graph under the Hints scheduler.
-//! let cfg = SystemConfig::with_cores(16);
-//! let app = AppSpec::coarse(BenchmarkId::Sssp).build(InputScale::Tiny, 1);
-//! let mut engine = Engine::new(cfg.clone(), app, Scheduler::Hints.build(&cfg));
+//! let mut engine = Sim::builder()
+//!     .cores(16)
+//!     .app_boxed(AppSpec::coarse(BenchmarkId::Sssp).build(InputScale::Tiny, 1))
+//!     .scheduler(Scheduler::Hints)
+//!     .build()
+//!     .expect("a valid simulation description");
 //! let stats = engine.run().expect("validated against Dijkstra");
 //! assert!(stats.tasks_committed > 0);
 //! ```
@@ -41,7 +44,10 @@ pub use swarm_types as types;
 pub mod prelude {
     pub use spatial_hints::{classify_accesses, AccessClassification, ClassifierConfig, Scheduler};
     pub use swarm_apps::{AppSpec, BenchmarkId, InputScale};
-    pub use swarm_sim::{Engine, InitialTask, RunStats, SwarmApp, TaskCtx, TaskMapper};
+    pub use swarm_sim::{
+        AbortEvent, BuildError, CommitEvent, DequeueEvent, Engine, InitialTask, NetworkEvent,
+        RunStats, Sim, SimBuilder, SimObserver, SwarmApp, TaskCtx, TaskMapper,
+    };
     pub use swarm_types::{Hint, SystemConfig, TileId, Timestamp};
 }
 

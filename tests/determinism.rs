@@ -11,9 +11,12 @@
 use swarm_repro::prelude::*;
 
 fn run(spec: AppSpec, scheduler: Scheduler, cores: u32, seed: u64) -> RunStats {
-    let cfg = SystemConfig::with_cores(cores);
-    let app = spec.build(InputScale::Tiny, seed);
-    let mut engine = Engine::new(cfg.clone(), app, scheduler.build(&cfg));
+    let mut engine = Sim::builder()
+        .cores(cores)
+        .app_boxed(spec.build(InputScale::Tiny, seed))
+        .scheduler(scheduler)
+        .build()
+        .expect("a valid simulation description");
     engine.run().expect("run must validate")
 }
 

@@ -12,9 +12,12 @@
 use swarm_repro::prelude::*;
 
 fn run(spec: AppSpec, scheduler: Scheduler, cores: u32) -> RunStats {
-    let cfg = SystemConfig::with_cores(cores);
-    let app = spec.build(InputScale::Tiny, 99);
-    let mut engine = Engine::new(cfg.clone(), app, scheduler.build(&cfg));
+    let mut engine = Sim::builder()
+        .cores(cores)
+        .app_boxed(spec.build(InputScale::Tiny, 99))
+        .scheduler(scheduler)
+        .build()
+        .expect("a valid simulation description");
     engine.run().unwrap_or_else(|e| {
         panic!("{} under {scheduler} at {cores} cores failed: {e}", spec.name())
     })
@@ -84,8 +87,12 @@ fn load_balancer_reduces_committed_cycle_imbalance_on_nocsim() {
         let mut cfg = SystemConfig::with_cores(16);
         cfg.lb_epoch = 2_000;
         let workload = NocWorkload::tornado(8, 12, 17);
-        let mut engine =
-            Engine::new(cfg.clone(), Box::new(Nocsim::new(workload)), scheduler.build(&cfg));
+        let mut engine = Sim::builder()
+            .config(cfg)
+            .app(Nocsim::new(workload))
+            .scheduler(scheduler)
+            .build()
+            .expect("a valid simulation description");
         engine.run().expect("nocsim must validate")
     };
     let hints = run_with(Scheduler::Hints);
@@ -118,10 +125,13 @@ fn access_classification_explains_hint_effectiveness() {
     // accesses; coarse-grain sssp has mostly multi-hint read-write accesses,
     // and its fine-grain version flips that.
     let classify = |spec: AppSpec| {
-        let cfg = SystemConfig::with_cores(4);
-        let app = spec.build(InputScale::Tiny, 7);
-        let mut engine = Engine::new(cfg.clone(), app, Scheduler::Hints.build(&cfg));
-        engine.enable_profiling();
+        let mut engine = Sim::builder()
+            .cores(4)
+            .app_boxed(spec.build(InputScale::Tiny, 7))
+            .scheduler(Scheduler::Hints)
+            .profiling(true)
+            .build()
+            .expect("a valid simulation description");
         let stats = engine.run().unwrap();
         classify_accesses(&stats.committed_accesses, ClassifierConfig::default())
     };

@@ -328,8 +328,12 @@ proptest! {
     #[test]
     fn random_ledgers_are_serializable(ledger in ledger_strategy(), scheduler_idx in 0usize..4) {
         let scheduler = Scheduler::ALL[scheduler_idx];
-        let cfg = SystemConfig::small();
-        let mut engine = Engine::new(cfg.clone(), Box::new(ledger.clone()), scheduler.build(&cfg));
+        let mut engine = Sim::builder()
+            .config(SystemConfig::small())
+            .app(ledger.clone())
+            .scheduler(scheduler)
+            .build()
+            .expect("a valid simulation description");
         let stats = engine.run().expect("ledger must serialize");
         prop_assert_eq!(stats.tasks_committed as usize, ledger.ops.len());
     }

@@ -46,9 +46,12 @@ impl SwarmApp for ObjectWorkload {
 }
 
 fn run_objects(scheduler: Scheduler, objects: u64, tasks_per_object: u64) -> RunStats {
-    let cfg = SystemConfig::with_cores(16);
-    let app = ObjectWorkload { objects, tasks_per_object };
-    let mut engine = Engine::new(cfg.clone(), Box::new(app), scheduler.build(&cfg));
+    let mut engine = Sim::builder()
+        .cores(16)
+        .app(ObjectWorkload { objects, tasks_per_object })
+        .scheduler(scheduler)
+        .build()
+        .expect("a valid simulation description");
     engine.run().expect("object workload must validate")
 }
 
@@ -104,8 +107,12 @@ fn stealing_keeps_cores_fed_on_an_imbalanced_spawn_tree() {
         }
     }
     let run_with = |scheduler: Scheduler| {
-        let cfg = SystemConfig::with_cores(16);
-        let mut engine = Engine::new(cfg.clone(), Box::new(SkewedSpawner), scheduler.build(&cfg));
+        let mut engine = Sim::builder()
+            .cores(16)
+            .app(SkewedSpawner)
+            .scheduler(scheduler)
+            .build()
+            .expect("a valid simulation description");
         engine.run().expect("spawner must run")
     };
     let stealing = run_with(Scheduler::Stealing);
@@ -131,8 +138,12 @@ fn load_balancer_corrects_zipfian_key_skew_on_kvstore() {
         let mut cfg = SystemConfig::with_cores(16);
         cfg.lb_epoch = 2_000;
         let workload = KvWorkload::zipfian(64, 1200, 17);
-        let mut engine =
-            Engine::new(cfg.clone(), Box::new(Kvstore::new(workload)), scheduler.build(&cfg));
+        let mut engine = Sim::builder()
+            .config(cfg)
+            .app(Kvstore::new(workload))
+            .scheduler(scheduler)
+            .build()
+            .expect("a valid simulation description");
         engine.run().expect("kvstore must validate")
     };
     let hints = run_with(Scheduler::Hints);
@@ -155,9 +166,12 @@ fn stealing_outruns_hints_on_maxflow_where_vertex_lines_are_shared() {
     // tests/end_to_end.rs — which is exactly the trade-off this workload
     // was added to surface.)
     let run_with = |scheduler: Scheduler| {
-        let cfg = SystemConfig::with_cores(16);
-        let app = AppSpec::coarse(BenchmarkId::Maxflow).build(InputScale::Tiny, 99);
-        let mut engine = Engine::new(cfg.clone(), app, scheduler.build(&cfg));
+        let mut engine = Sim::builder()
+            .cores(16)
+            .app_boxed(AppSpec::coarse(BenchmarkId::Maxflow).build(InputScale::Tiny, 99))
+            .scheduler(scheduler)
+            .build()
+            .expect("a valid simulation description");
         engine.run().expect("maxflow must validate")
     };
     let stealing = run_with(Scheduler::Stealing);
@@ -175,9 +189,12 @@ fn lbhints_spreads_hot_buckets_over_time() {
     // Two hot objects under LBHints: even if both initially hash to the same
     // tile, reconfigurations may separate them; in all cases the run must
     // stay valid and reconfigurations must have been attempted.
-    let cfg = SystemConfig::with_cores(16);
-    let app = ObjectWorkload { objects: 6, tasks_per_object: 48 };
-    let mut engine = Engine::new(cfg.clone(), Box::new(app), Scheduler::LbHints.build(&cfg));
+    let mut engine = Sim::builder()
+        .cores(16)
+        .app(ObjectWorkload { objects: 6, tasks_per_object: 48 })
+        .scheduler(Scheduler::LbHints)
+        .build()
+        .expect("a valid simulation description");
     let stats = engine.run().expect("lbhints run must validate");
     assert!(stats.gvt_updates > 0);
     assert!(stats.tasks_committed == 6 * 48);
