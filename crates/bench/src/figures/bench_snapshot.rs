@@ -7,32 +7,44 @@
 //! terminal scrollback.
 //!
 //! ```text
-//! bench_snapshot [--out PATH]   # default: BENCH_mechanisms.json
+//! bench_snapshot [--out PATH] [--test]   # default: BENCH_mechanisms.json
 //! ```
+//!
+//! Most entries are ns/op of one mechanism; the `engine_cycles_per_sec`
+//! entry is whole-engine throughput (simulated cycles per wall-clock
+//! second) on a synthetic chain workload that isolates the engine hot
+//! loop. `--test` is the CI smoke mode: fewer samples, smaller workload,
+//! same output schema.
 
 use std::time::Instant;
 
 use swarm_mem::{AccessKind, CacheModel, LruSet, SimMemory};
-use swarm_sim::BloomFilter;
-use swarm_types::{CacheConfig, CoreId, LineAddr};
+use swarm_sim::{BloomFilter, InitialTask, RoundRobinMapper, Sim, SwarmApp, TaskCtx};
+use swarm_types::{CacheConfig, CoreId, Hint, LineAddr};
 
 /// Samples taken per mechanism; the median is reported.
 const SAMPLES: usize = 20;
 
-/// Median ns/op of `payload`, calibrated so one sample runs >= 1 ms.
-fn time_ns(mut payload: impl FnMut()) -> f64 {
+/// Samples per mechanism in `--test` (smoke) mode.
+const SAMPLES_FAST: usize = 3;
+
+/// Median ns/op of `payload`, calibrated so one sample runs >= 1 ms
+/// (>= 100 us in `--test` mode).
+fn time_ns_mode(fast: bool, mut payload: impl FnMut()) -> f64 {
+    let floor_us = if fast { 100 } else { 1_000 };
     let mut batch = 1u64;
     loop {
         let start = Instant::now();
         for _ in 0..batch {
             payload();
         }
-        if start.elapsed().as_micros() >= 1_000 || batch >= 1 << 20 {
+        if start.elapsed().as_micros() >= floor_us || batch >= 1 << 20 {
             break;
         }
         batch *= 2;
     }
-    let mut per_iter: Vec<f64> = (0..SAMPLES)
+    let samples = if fast { SAMPLES_FAST } else { SAMPLES };
+    let mut per_iter: Vec<f64> = (0..samples)
         .map(|_| {
             let start = Instant::now();
             for _ in 0..batch {
@@ -45,18 +57,61 @@ fn time_ns(mut payload: impl FnMut()) -> f64 {
     per_iter[per_iter.len() / 2]
 }
 
+/// Synthetic workload that isolates the engine hot loop: `roots` ordered
+/// task chains of length `chain + 1`, each task touching one private line
+/// and enqueuing its successor. Memory-system costs are minimal (every
+/// access is a warm hit on a distinct line), so wall time is dominated by
+/// the dispatch/finish/commit machinery this series tracks.
+struct EngineLoop {
+    roots: u64,
+    chain: u64,
+}
+
+impl SwarmApp for EngineLoop {
+    fn name(&self) -> &str {
+        "engine_loop"
+    }
+
+    fn initial_tasks(&self) -> Vec<InitialTask> {
+        (0..self.roots)
+            .map(|i| InitialTask::new(0, i, Hint::value(i), vec![i, self.chain]))
+            .collect()
+    }
+
+    fn run_task(&self, _fid: u16, ts: u64, args: &[u64], ctx: &mut TaskCtx<'_>) {
+        let (slot, left) = (args[0], args[1]);
+        ctx.update(0x10_0000 + slot * 64, |v| v.wrapping_add(1));
+        if left > 0 {
+            ctx.enqueue(0, ts + 1, Hint::value(slot), vec![slot, left - 1]);
+        }
+    }
+}
+
+/// One full engine run of the [`EngineLoop`] workload; returns the
+/// simulated runtime in cycles.
+fn engine_loop_run(roots: u64, chain: u64) -> u64 {
+    let mut engine = Sim::builder()
+        .app(EngineLoop { roots, chain })
+        .mapper(Box::new(RoundRobinMapper::new()))
+        .cores(64)
+        .build()
+        .expect("engine_loop workload builds");
+    engine.run().expect("engine_loop workload runs").runtime_cycles
+}
+
 /// Run the `bench_snapshot` command with the argument slice that follows the
 /// subcommand name (`swarm bench <args...>`).
 pub fn run(args: &[String]) {
     let mut args = args.iter().cloned();
     let mut out = String::from("BENCH_mechanisms.json");
+    let mut fast = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out = args.next().expect("--out requires a path"),
-            other => panic!("unknown argument {other:?} (expected --out PATH)"),
+            "--test" => fast = true,
+            other => panic!("unknown argument {other:?} (expected --out PATH or --test)"),
         }
     }
-
     let mut results: Vec<(&str, f64)> = Vec::new();
 
     {
@@ -64,7 +119,7 @@ pub fn run(args: &[String]) {
         let mut i = 0u64;
         results.push((
             "cache_model_access_64tiles",
-            time_ns(|| {
+            time_ns_mode(fast, || {
                 i = i.wrapping_add(1);
                 let core = CoreId((i % 256) as u32);
                 std::hint::black_box(caches.access(core, LineAddr(i % 8192), AccessKind::Read));
@@ -76,7 +131,7 @@ pub fn run(args: &[String]) {
         let mut i = 0u64;
         results.push((
             "lru_set_insert",
-            time_ns(|| {
+            time_ns_mode(fast, || {
                 i = i.wrapping_add(1);
                 std::hint::black_box(lru.insert(i % 16384));
             }),
@@ -90,7 +145,7 @@ pub fn run(args: &[String]) {
         let mut i = 0u64;
         results.push((
             "lru_set_touch_hot",
-            time_ns(|| {
+            time_ns_mode(fast, || {
                 i = i.wrapping_add(1);
                 std::hint::black_box(lru.touch(i % 4096));
             }),
@@ -104,7 +159,7 @@ pub fn run(args: &[String]) {
         let mut i = 0u64;
         results.push((
             "sim_memory_load_store",
-            time_ns(|| {
+            time_ns_mode(fast, || {
                 i = i.wrapping_add(1);
                 let addr = (i % 8192) * 8;
                 let value = mem.load(addr);
@@ -117,7 +172,7 @@ pub fn run(args: &[String]) {
         let mut i = 0u64;
         results.push((
             "sim_memory_store_logged",
-            time_ns(|| {
+            time_ns_mode(fast, || {
                 i = i.wrapping_add(8);
                 std::hint::black_box(mem.store_logged(i % 65536, i));
             }),
@@ -128,19 +183,33 @@ pub fn run(args: &[String]) {
         let mut i = 0u64;
         results.push((
             "bloom_insert_2kbit_8way",
-            time_ns(|| {
+            time_ns_mode(fast, || {
                 i = i.wrapping_add(1);
                 filter.insert(LineAddr(i % 4096));
             }),
         ));
     }
 
+    // Whole-engine throughput: simulated cycles per wall-clock second on
+    // the [`EngineLoop`] workload (the engine hot loop, with the memory
+    // system reduced to warm hits). This is the machine-readable series
+    // the ROADMAP's hot-loop item is tracked by.
+    let (roots, chain) = if fast { (64, 7) } else { (256, 15) };
+    let sim_cycles = engine_loop_run(roots, chain);
+    let ns_per_run = time_ns_mode(fast, || {
+        std::hint::black_box(engine_loop_run(roots, chain));
+    });
+    let engine_cycles_per_sec = sim_cycles as f64 * 1e9 / ns_per_run;
+
     // Hand-rolled JSON (the offline build has no serde_json); mechanism
     // names are static identifiers, so nothing needs escaping.
-    let entries: Vec<String> = results
+    let mut entries: Vec<String> = results
         .iter()
         .map(|(name, ns)| format!("    {{\"name\": \"{name}\", \"ns_per_op\": {ns:.1}}}"))
         .collect();
+    entries.push(format!(
+        "    {{\"name\": \"engine_cycles_per_sec\", \"cycles_per_sec\": {engine_cycles_per_sec:.0}}}"
+    ));
     let json = format!(
         "{{\n  \"bench\": \"mechanisms\",\n  \"unit\": \"ns_per_op\",\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
@@ -151,5 +220,6 @@ pub fn run(args: &[String]) {
     for (name, ns) in &results {
         println!("{name:<32}{ns:>12.1}");
     }
+    println!("{:<32}{engine_cycles_per_sec:>12.0}", "engine_cycles_per_sec");
     println!("wrote {out}");
 }

@@ -344,10 +344,15 @@ impl CacheModel {
         let tile = self.tile_of(core);
         let key = line.0;
 
-        let l1_hit = self.l1[core.index()].touch(key);
+        // Probe-and-fill in one pass: the line always ends the access resident
+        // in the local L1 and L2, and nothing below touches those two sets
+        // (the invalidation walk skips the local tile), so inserting the line
+        // on a miss here — rather than after the directory update — leaves
+        // exactly the same recency order and evictions.
+        let l1_hit = self.l1[core.index()].touch_or_insert(key);
         // The seed short-circuited the L2 touch on an L1 hit; keep that
         // order (the L2 recency is then only refreshed by the fill below).
-        let l2_touch_hit = !l1_hit && self.l2[tile.index()].touch(key);
+        let l2_touch_hit = !l1_hit && self.l2[tile.index()].touch_or_insert(key);
         let l2_hit = l1_hit || l2_touch_hit;
 
         // One directory probe yields both the pre-access snapshot and the
@@ -442,13 +447,11 @@ impl CacheModel {
         }
         dir.in_l3 = true;
         self.l3[home.index()].insert(key);
-        // A level that served the access via `touch` was already promoted to
-        // most-recently-used; re-inserting would be a redundant second probe.
-        if !l2_touch_hit {
+        // The local L1 and L2 were already probed-and-filled above; the only
+        // leftover fill is the L2 refresh on an L1 hit, which the combined
+        // probe skips (it never reaches the L2 in that case).
+        if l1_hit {
             self.l2[tile.index()].insert(key);
-        }
-        if !l1_hit {
-            self.l1[core.index()].insert(key);
         }
 
         AccessOutcome { level, base_latency, invalidated, remote }

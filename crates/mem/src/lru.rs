@@ -148,14 +148,42 @@ impl LruSet {
         assert_ne!(key, NONE, "u64::MAX is reserved as the LruSet sentinel");
         // One probe resolves both cases: it either finds `key` (promote) or
         // ends at the empty position where `key` belongs.
-        let mut pos = match self.index.probe(key) {
+        match self.index.probe(key) {
             Probe::Found(pos) => {
                 let slot = self.index.val_at(pos);
                 self.promote(slot);
-                return None;
+                None
             }
-            Probe::Vacant(pos) => pos,
-        };
+            Probe::Vacant(pos) => self.insert_at(pos, key),
+        }
+    }
+
+    /// Promote `key` if present, insert it as most recently used otherwise;
+    /// returns whether it was present. A single probe serves both outcomes,
+    /// unlike a `touch` miss followed by a separate `insert`, which probes
+    /// the index twice — this is the cache model's hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX` (the index sentinel), like `insert`.
+    pub fn touch_or_insert(&mut self, key: u64) -> bool {
+        assert_ne!(key, NONE, "u64::MAX is reserved as the LruSet sentinel");
+        match self.index.probe(key) {
+            Probe::Found(pos) => {
+                let slot = self.index.val_at(pos);
+                self.promote(slot);
+                true
+            }
+            Probe::Vacant(pos) => {
+                self.insert_at(pos, key);
+                false
+            }
+        }
+    }
+
+    /// Insert `key`, known absent, at vacant index position `pos`; returns
+    /// the evicted key if the set was full.
+    fn insert_at(&mut self, mut pos: usize, key: u64) -> Option<u64> {
         // Keep the load factor <= 0.5. The check only runs when a key is
         // actually inserted, so promote-hits never grow; eviction caps the
         // post-insert occupancy at `capacity`, so the table never grows past

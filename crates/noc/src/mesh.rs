@@ -8,6 +8,11 @@ pub struct Mesh {
     width: u32,
     height: u32,
     cfg: NocConfig,
+    /// `log2(width)` when the width is a power of two, so the hot-path
+    /// coordinate split can use shift/mask instead of division.
+    width_shift: Option<u32>,
+    /// Cached [`Mesh::flits_for_bytes`] of one cache line.
+    line_flits: u64,
 }
 
 impl Mesh {
@@ -18,7 +23,19 @@ impl Mesh {
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32, cfg: NocConfig) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be positive");
-        Mesh { width, height, cfg }
+        let bits = swarm_types::CACHE_LINE_BYTES * 8;
+        let line_flits = cfg.control_flits + bits.div_ceil(cfg.link_bits.max(1));
+        let width_shift = width.is_power_of_two().then(|| width.trailing_zeros());
+        Mesh { width, height, cfg, width_shift, line_flits }
+    }
+
+    /// Split a tile id into (x, y) without the bounds check.
+    #[inline]
+    fn split(&self, t: u32) -> (u32, u32) {
+        match self.width_shift {
+            Some(shift) => (t & (self.width - 1), t >> shift),
+            None => (t % self.width, t / self.width),
+        }
     }
 
     /// Number of tiles in the mesh.
@@ -48,7 +65,7 @@ impl Mesh {
             self.width,
             self.height
         );
-        (tile.0 % self.width, tile.0 / self.width)
+        self.split(tile.0)
     }
 
     /// Tile at coordinates (x, y).
@@ -74,9 +91,9 @@ impl Mesh {
         if from == to {
             return 0;
         }
-        let (fx, fy) = self.coords(from);
-        let (tx, ty) = self.coords(to);
-        let hops = self.hops(from, to);
+        let (fx, fy) = self.split(from.0);
+        let (tx, ty) = self.split(to.0);
+        let hops = u64::from(fx.abs_diff(tx) + fy.abs_diff(ty));
         let turns = u64::from(fx != tx && fy != ty);
         hops * self.cfg.hop_latency + turns * self.cfg.turn_penalty
     }
@@ -91,7 +108,7 @@ impl Mesh {
 
     /// Flits for a full cache line (64 bytes).
     pub fn line_flits(&self) -> u64 {
-        self.flits_for_bytes(swarm_types::CACHE_LINE_BYTES)
+        self.line_flits
     }
 
     /// Flits for a short control-only message (GVT update, abort signal).

@@ -7,7 +7,7 @@
 //! (Listing 1 and 2 of the paper map directly onto this API).
 
 use swarm_mem::{SimMemory, UndoEntry};
-use swarm_types::{Addr, CoreId, FastHashSet, Hint, LineAddr, TaskFnId, TaskId, Timestamp};
+use swarm_types::{Addr, CoreId, Hint, LineAddr, TaskFnId, TaskId, Timestamp};
 
 use crate::state::SimState;
 use crate::task::{InitialTask, PendingChild};
@@ -80,11 +80,11 @@ pub struct TaskCtx<'a> {
     core: CoreId,
     ts: Timestamp,
     cycles: u64,
-    // FastHasher sets: every read/write inserts its line here, and SipHash
-    // was measurable; FastHasher also makes the iteration order (and thus
-    // the recorded read/write set order) deterministic.
-    read_lines: FastHashSet<LineAddr>,
-    write_lines: FastHashSet<LineAddr>,
+    // Plain vecs, deduplicated once at outcome time: a task's footprint is a
+    // handful of lines, so push + sort + dedup beats per-access hashing, and
+    // the sorted result is deterministic regardless of access order.
+    read_lines: Vec<LineAddr>,
+    write_lines: Vec<LineAddr>,
     undo: Vec<UndoEntry>,
     trace: Vec<(Addr, bool)>,
     children: Vec<PendingChild>,
@@ -93,19 +93,33 @@ pub struct TaskCtx<'a> {
 impl<'a> TaskCtx<'a> {
     /// Create a context for `task` running on `core`. Charges the base task
     /// overhead (dequeue + task body setup) immediately.
+    ///
+    /// The access-tracking containers are borrowed from the state's
+    /// recycled buffers (one execution is in flight at a time) and the
+    /// children list from a pool (one children buffer stays in flight per
+    /// busy core until its `Finish` event), so a steady-state dispatch
+    /// allocates nothing; [`TaskCtx::into_outcome`] and the engine return
+    /// them once the outcome is integrated.
     pub(crate) fn new(state: &'a mut SimState, task: TaskId, core: CoreId, ts: Timestamp) -> Self {
         let base = state.cfg.spec.task_base_cost + state.cfg.spec.task_mgmt_cost;
+        let read_lines = std::mem::take(&mut state.ctx_read_buf);
+        let write_lines = std::mem::take(&mut state.ctx_write_buf);
+        let undo = std::mem::take(&mut state.ctx_undo);
+        let trace = std::mem::take(&mut state.ctx_trace);
+        let children = state.ctx_children_pool.pop().unwrap_or_default();
+        debug_assert!(read_lines.is_empty() && write_lines.is_empty());
+        debug_assert!(undo.is_empty() && trace.is_empty() && children.is_empty());
         TaskCtx {
             state,
             task,
             core,
             ts,
             cycles: base,
-            read_lines: FastHashSet::default(),
-            write_lines: FastHashSet::default(),
-            undo: Vec::new(),
-            trace: Vec::new(),
-            children: Vec::new(),
+            read_lines,
+            write_lines,
+            undo,
+            trace,
+            children,
         }
     }
 
@@ -118,7 +132,7 @@ impl<'a> TaskCtx<'a> {
     pub fn read(&mut self, addr: Addr) -> u64 {
         let (value, latency) = self.state.speculative_read(self.task, self.core, addr);
         self.cycles += latency;
-        self.read_lines.insert(LineAddr::containing(addr));
+        self.read_lines.push(LineAddr::containing(addr));
         if self.state.profiling {
             self.trace.push((addr, false));
         }
@@ -129,7 +143,7 @@ impl<'a> TaskCtx<'a> {
     pub fn write(&mut self, addr: Addr, value: u64) {
         let (undo, latency) = self.state.speculative_write(self.task, self.core, addr, value);
         self.cycles += latency;
-        self.write_lines.insert(LineAddr::containing(addr));
+        self.write_lines.push(LineAddr::containing(addr));
         self.undo.push(undo);
         if self.state.profiling {
             self.trace.push((addr, true));
@@ -176,20 +190,14 @@ impl<'a> TaskCtx<'a> {
     /// finish overhead.
     pub(crate) fn into_outcome(mut self) -> ExecutionOutcome {
         self.cycles += self.state.cfg.spec.task_mgmt_cost;
-        // Sort the line sets: their order feeds line_table registration and
-        // abort-cascade traversal, so leaving it at hash-iteration order
-        // made some results (e.g. `summary` on sssp) depend on the hasher.
-        let mut read_lines: Vec<LineAddr> = self.read_lines.into_iter().collect();
-        let mut write_lines: Vec<LineAddr> = self.write_lines.into_iter().collect();
+        let TaskCtx { cycles, mut read_lines, mut write_lines, undo, trace, children, .. } = self;
+        // Sort + dedup the line lists: their order feeds line_table
+        // registration and abort-cascade traversal, so it must not depend on
+        // the order the task body happened to touch memory in.
         read_lines.sort_unstable();
+        read_lines.dedup();
         write_lines.sort_unstable();
-        ExecutionOutcome {
-            cycles: self.cycles,
-            read_lines,
-            write_lines,
-            undo: self.undo,
-            trace: self.trace,
-            children: self.children,
-        }
+        write_lines.dedup();
+        ExecutionOutcome { cycles, read_lines, write_lines, undo, trace, children }
     }
 }

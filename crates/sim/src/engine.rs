@@ -14,26 +14,36 @@
 //!   earliest unfinished task (plus, optionally, independent equal-timestamp
 //!   tasks, which unordered programs rely on);
 //! * a periodic load-balancer epoch lets hint-based mappers remap buckets.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+//!
+//! Pending events live in a [`TimingWheel`] keyed by cycle: events pop in
+//! ascending `(cycle, schedule order)` — the explicit ordering contract is
+//! documented on [`TimingWheel::schedule`], so the `Event` type needs no
+//! `Ord` of its own. The hot loop allocates nothing in steady state: task
+//! records come from the state's free-listed arena, execution buffers are
+//! recycled between bodies, and the per-core pending-children lists reuse
+//! their capacity across dispatches.
 
 use swarm_noc::TrafficClass;
 use swarm_types::{CoreId, Hint, SimError, SimResult, SystemConfig, TaskId, TileId, Timestamp};
 
 use crate::app::{ExecutionOutcome, SwarmApp, TaskCtx};
+use crate::event_queue::TimingWheel;
 use crate::mapper::TaskMapper;
 use crate::observer::{CoreWaitEvent, DequeueEvent, SimObserver, WaitKind};
 use crate::state::{CoreState, SimState};
 use crate::stats::RunStats;
-use crate::task::{PendingChild, TaskDescriptor, TaskStatus};
+use crate::task::{OrderKey, PendingChild, TaskDescriptor, TaskStatus};
 
 /// Default safety limit on executed task bodies (including aborted
 /// re-executions); exceeding it aborts the run with
 /// [`SimError::TaskLimitExceeded`].
 pub const DEFAULT_TASK_LIMIT: u64 = 50_000_000;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+/// An engine event. Ordering between events is entirely the
+/// [`TimingWheel`]'s `(cycle, schedule order)` contract; the type itself is
+/// deliberately unordered (the seed's `(cycle, seq, Event)` heap tuple could
+/// fall through to a derived `Ord` on `Event`, which was never meaningful).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     /// A core finished executing its current task.
     Finish(CoreId),
@@ -51,13 +61,25 @@ pub struct Engine {
     state: SimState,
     app: Box<dyn SwarmApp>,
     mapper: Box<dyn TaskMapper>,
-    events: BinaryHeap<Reverse<(u64, u64, Event)>>,
-    event_seq: u64,
+    events: TimingWheel<Event>,
     now: u64,
     executed_bodies: u64,
     task_limit: u64,
-    pending_children: HashMap<TaskId, Vec<PendingChild>>,
+    /// Children requested by the task currently running on each core; they
+    /// become visible when the core's execution finishes un-aborted. The
+    /// buffers recycle their capacity across dispatches.
+    pending_children: Vec<Vec<PendingChild>>,
+    /// Queued `Finish`/`TryDispatch` events. When this hits zero with tasks
+    /// remaining and a GVT tick commits nothing, no future event can change
+    /// the state: the run is deadlocked (see [`SimError::Deadlock`]).
+    pending_core_events: u64,
     validate_result: bool,
+    /// Scratch for per-tile idle counts handed to the mapper.
+    idle_scratch: Vec<usize>,
+    /// Scratch for the GVT commit walk (keys of committable tasks).
+    commit_scratch: Vec<OrderKey>,
+    /// Scratch that swaps with the state's wake list while processing it.
+    wake_scratch: Vec<TileId>,
 }
 
 impl Engine {
@@ -70,17 +92,25 @@ impl Engine {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(cfg: SystemConfig, app: Box<dyn SwarmApp>, mapper: Box<dyn TaskMapper>) -> Self {
+        let state = SimState::new(cfg);
+        let num_cores = state.cfg.num_cores();
         Engine {
-            state: SimState::new(cfg),
+            state,
             app,
             mapper,
-            events: BinaryHeap::new(),
-            event_seq: 0,
+            // Worst same-cycle burst: one TryDispatch per core (a wake after
+            // a commit batch) plus one Finish per core, plus the two
+            // periodic events.
+            events: TimingWheel::with_slot_capacity(2 * num_cores + 2),
             now: 0,
             executed_bodies: 0,
             task_limit: DEFAULT_TASK_LIMIT,
-            pending_children: HashMap::new(),
+            pending_children: vec![Vec::new(); num_cores],
+            pending_core_events: 0,
             validate_result: true,
+            idle_scratch: Vec::new(),
+            commit_scratch: Vec::new(),
+            wake_scratch: Vec::new(),
         }
     }
 
@@ -116,9 +146,12 @@ impl Engine {
         &self.state
     }
 
-    fn schedule(&mut self, at: u64, event: Event) {
-        self.event_seq += 1;
-        self.events.push(Reverse((at, self.event_seq, event)));
+    /// Schedule a core event (`Finish`/`TryDispatch`), tracking the count of
+    /// outstanding ones for deadlock detection.
+    fn schedule_core(&mut self, at: u64, event: Event) {
+        debug_assert!(matches!(event, Event::Finish(_) | Event::TryDispatch(_)));
+        self.pending_core_events += 1;
+        self.events.schedule(at, event);
     }
 
     /// Run the application to completion and return the run statistics.
@@ -126,8 +159,10 @@ impl Engine {
     /// # Errors
     ///
     /// Returns an error if the executed-task safety limit is exceeded, if a
-    /// child task regresses its parent's timestamp, or if the final memory
-    /// state fails the application's validation.
+    /// child task regresses its parent's timestamp, if the simulation
+    /// deadlocks (tasks remain but no event can make progress — see
+    /// [`SimError::Deadlock`]), or if the final memory state fails the
+    /// application's validation.
     pub fn run(&mut self) -> SimResult<RunStats> {
         // Sequential setup: let the application lay out its initial data.
         self.app.init_memory(&mut self.state.mem);
@@ -139,22 +174,28 @@ impl Engine {
         self.process_wakes();
         let gvt_epoch = self.state.cfg.spec.gvt_epoch;
         let lb_epoch = self.state.cfg.lb_epoch;
-        self.schedule(gvt_epoch, Event::Gvt);
-        self.schedule(lb_epoch, Event::LbEpoch);
+        self.events.schedule(gvt_epoch, Event::Gvt);
+        self.events.schedule(lb_epoch, Event::LbEpoch);
 
         while self.state.remaining_tasks > 0 {
-            let Some(Reverse((at, _, event))) = self.events.pop() else {
-                // No events but tasks remain: force a GVT update to commit
-                // whatever can commit (this should not normally happen).
-                self.now += gvt_epoch;
-                self.handle_gvt();
-                continue;
+            let Some((at, event)) = self.events.pop() else {
+                // Tasks remain but the event queue drained: nothing can ever
+                // make progress again. (Normally unreachable: the GVT event
+                // reschedules itself while tasks remain, and reports the
+                // deadlock itself when the system quiesces.)
+                return Err(SimError::Deadlock { remaining: self.state.remaining_tasks });
             };
             self.now = at.max(self.now);
             match event {
-                Event::Finish(core) => self.handle_finish(core)?,
-                Event::TryDispatch(core) => self.handle_try_dispatch(core)?,
-                Event::Gvt => self.handle_gvt(),
+                Event::Finish(core) => {
+                    self.pending_core_events -= 1;
+                    self.handle_finish(core)?;
+                }
+                Event::TryDispatch(core) => {
+                    self.pending_core_events -= 1;
+                    self.handle_try_dispatch(core)?;
+                }
+                Event::Gvt => self.handle_gvt()?,
                 Event::LbEpoch => self.handle_lb_epoch(),
             }
             if self.executed_bodies > self.task_limit {
@@ -206,10 +247,11 @@ impl Engine {
         parent: Option<TaskId>,
     ) -> SimResult<TaskId> {
         let (parent_hint, parent_ts, parent_tile) = match parent {
-            Some(p) => {
-                let rec = self.state.record(p);
-                (Some(rec.desc.hint), Some(rec.desc.ts), Some(rec.desc.tile))
-            }
+            Some(p) => (
+                Some(self.state.tasks.body(p).hint),
+                Some(self.state.tasks.ts(p)),
+                Some(self.state.tasks.tile(p)),
+            ),
             None => (None, None, None),
         };
         if let Some(pts) = parent_ts {
@@ -227,7 +269,6 @@ impl Engine {
         };
         let bucket = self.mapper.bucket_of(resolved);
         let desc = TaskDescriptor {
-            id: TaskId(0), // assigned by add_task
             fid,
             ts,
             hint: resolved,
@@ -239,7 +280,7 @@ impl Engine {
         };
         let id = self.state.add_task(desc);
         if let Some(p) = parent {
-            self.state.record_mut(p).children.push(id);
+            self.state.tasks.body_mut(p).children.push(id);
         }
         // Task descriptors sent to a remote tile consume network bandwidth.
         if let Some(src) = parent_tile {
@@ -264,34 +305,46 @@ impl Engine {
             CoreState::Busy { .. } => None,
         };
         if let Some((kind, since)) = wait {
-            self.state.observers.core_wait(&CoreWaitEvent {
-                core,
-                kind,
-                cycles: self.now.saturating_sub(since),
-            });
+            let cycles = self.now.saturating_sub(since);
+            if cycles > 0 || self.state.observers.wants_zero_cycle_waits() {
+                self.state.observers.core_wait(&CoreWaitEvent { core, kind, cycles });
+            }
         }
         self.state.cores[core.index()] = new_state;
     }
 
     fn process_wakes(&mut self) {
-        let tiles = self.state.drain_wakes();
-        if tiles.is_empty() {
+        if self.state.wake_tiles.is_empty() {
             return;
         }
+        // Swap the woken-tile list into engine scratch (leaving the state an
+        // empty list with retained capacity) so scheduling below can borrow
+        // the engine mutably.
+        std::mem::swap(&mut self.wake_scratch, &mut self.state.wake_tiles);
         // Under a work-stealing scheduler, new work anywhere is a stealing
         // opportunity for every out-of-work tile, so wake all non-busy cores;
         // otherwise only the tiles that received work or freed queue slots
         // need to re-attempt dispatch.
-        let cores: Vec<CoreId> = if self.mapper.steals() {
-            (0..self.state.cfg.num_cores() as u32).map(CoreId).collect()
+        if self.mapper.steals() {
+            for c in 0..self.state.cfg.num_cores() as u32 {
+                let core = CoreId(c);
+                if !matches!(self.state.cores[core.index()], CoreState::Busy { .. }) {
+                    self.schedule_core(self.now, Event::TryDispatch(core));
+                }
+            }
         } else {
-            tiles.iter().flat_map(|&tile| self.state.cores_of_tile(tile)).collect()
-        };
-        for core in cores {
-            if !matches!(self.state.cores[core.index()], CoreState::Busy { .. }) {
-                self.schedule(self.now, Event::TryDispatch(core));
+            for i in 0..self.wake_scratch.len() {
+                let tile = self.wake_scratch[i];
+                let first = tile.index() as u32 * self.state.cfg.cores_per_tile;
+                for c in first..first + self.state.cfg.cores_per_tile {
+                    let core = CoreId(c);
+                    if !matches!(self.state.cores[core.index()], CoreState::Busy { .. }) {
+                        self.schedule_core(self.now, Event::TryDispatch(core));
+                    }
+                }
             }
         }
+        self.wake_scratch.clear();
     }
 
     /// Pick the next dispatchable task for `tile` respecting same-hint
@@ -304,11 +357,12 @@ impl Engine {
             if !serialize {
                 return Some(id);
             }
-            let hash = self.state.record(id).desc.hint_hash;
+            let hash = self.state.tasks.hint_hash(id);
             let conflicting = hash.is_some()
                 && tile_state.running.iter().any(|&r| {
-                    let rrec = self.state.record(r);
-                    !rrec.aborted && rrec.desc.hint_hash == hash && rrec.key() < (ts, id)
+                    !self.state.tasks.is_aborted(r)
+                        && self.state.tasks.hint_hash(r) == hash
+                        && self.state.tasks.key(r) < (ts, id)
                 });
             if !conflicting {
                 return Some(id);
@@ -342,8 +396,8 @@ impl Engine {
 
         // Work stealing (idealized): grab the earliest task of the victim.
         if self.state.tiles[tile.index()].idle.is_empty() && self.mapper.steals() {
-            let idle = self.state.idle_per_tile();
-            if let Some(victim) = self.mapper.steal_victim(tile, &idle) {
+            self.state.idle_per_tile_into(&mut self.idle_scratch);
+            if let Some(victim) = self.mapper.steal_victim(tile, &self.idle_scratch) {
                 self.state.steal_task(tile, victim);
             }
         }
@@ -358,7 +412,7 @@ impl Engine {
         // precedes it) or stall the core.
         let commit_cap = self.state.cfg.commit_queue_per_tile();
         if self.state.tiles[tile.index()].commit_queue_occupancy() >= commit_cap {
-            let candidate_key = self.state.record(candidate).key();
+            let candidate_key = self.state.tasks.key(candidate);
             let latest_finished = self.state.tiles[tile.index()].finished.last().copied();
             match latest_finished {
                 Some(last_key) if candidate_key < last_key => {
@@ -367,7 +421,7 @@ impl Engine {
                     // The resource abort's cascade may have touched the
                     // candidate itself (e.g. discarded it because its parent
                     // aborted); restart the dispatch decision from scratch.
-                    if self.state.record(candidate).status != TaskStatus::Idle {
+                    if self.state.tasks.status(candidate) != TaskStatus::Idle {
                         return self.handle_try_dispatch(core);
                     }
                 }
@@ -379,15 +433,15 @@ impl Engine {
         }
 
         // Dispatch: remove from the idle queue and execute the body.
-        let key = self.state.record(candidate).key();
+        let key = self.state.tasks.key(candidate);
         self.state.tiles[tile.index()].idle.remove(&key);
         self.state.tiles[tile.index()].running.push(candidate);
         self.account_core_transition(core, CoreState::Busy { task: candidate });
-        {
-            let (ts, hint) = {
-                let desc = &self.state.record(candidate).desc;
-                (desc.ts, desc.hint)
-            };
+        // The built-in statistics observer ignores dequeues, so the event is
+        // only materialised when a custom observer is listening.
+        if self.state.observers.wants_dequeue() {
+            let (ts, hint) =
+                (self.state.tasks.ts(candidate), self.state.tasks.body(candidate).hint);
             self.state.observers.dequeue(&DequeueEvent {
                 task: candidate,
                 ts,
@@ -400,17 +454,27 @@ impl Engine {
 
         let outcome = self.execute_body(candidate, core);
         self.executed_bodies += 1;
-        let finish_at = self.now + outcome.cycles.max(1);
+        let exec_cycles = outcome.cycles.max(1);
+        let finish_at = self.now + exec_cycles;
         {
+            let ExecutionOutcome { read_lines, write_lines, undo, trace, children, .. } = outcome;
             let dispatched_at = self.now;
-            let rec = self.state.record_mut(candidate);
-            rec.exec_cycles = outcome.cycles.max(1);
-            rec.dispatched_at = dispatched_at;
-            rec.read_set = outcome.read_lines;
-            rec.write_set = outcome.write_lines;
-            rec.undo = outcome.undo;
-            rec.access_trace = outcome.trace;
-            rec.status = TaskStatus::Running { core, finish_at };
+            let body = self.state.tasks.body_mut(candidate);
+            body.exec_cycles = exec_cycles;
+            body.dispatched_at = dispatched_at;
+            // Copy the outcome into the body's slot-resident buffers (which
+            // keep their capacity across the slot's tenants) and hand the
+            // outcome buffers back for the next execution.
+            debug_assert!(body.read_set.is_empty() && body.undo.is_empty());
+            body.read_set.extend_from_slice(&read_lines);
+            body.write_set.extend_from_slice(&write_lines);
+            body.undo.extend_from_slice(&undo);
+            body.access_trace.extend_from_slice(&trace);
+            self.state.recycle_exec_buffers(read_lines, write_lines, undo, trace);
+            self.state.tasks.set_status(candidate, TaskStatus::Running { core, finish_at });
+            let slot = &mut self.pending_children[core.index()];
+            debug_assert!(slot.is_empty());
+            *slot = children;
         }
         // If the body's own accesses triggered an abort of this very task
         // (possible only through a parent abort cascade racing in the same
@@ -418,20 +482,22 @@ impl Engine {
         // registration below would be stale; register unconditionally since
         // aborted tasks are unregistered when settled.
         self.state.register_access_sets(candidate);
-        self.pending_children.insert(candidate, outcome.children);
-        self.schedule(finish_at, Event::Finish(core));
+        self.schedule_core(finish_at, Event::Finish(core));
         self.process_wakes();
         Ok(())
     }
 
     fn execute_body(&mut self, task: TaskId, core: CoreId) -> ExecutionOutcome {
-        let (fid, ts, args) = {
-            let rec = self.state.record(task);
-            (rec.desc.fid, rec.desc.ts, rec.desc.args.clone())
-        };
+        // Borrow the argument buffer out of the task's body for the duration
+        // of the call instead of cloning it (the body cannot observe its own
+        // argument list through the context).
+        let (fid, ts) = (self.state.tasks.body(task).fid, self.state.tasks.ts(task));
+        let args = std::mem::take(&mut self.state.tasks.body_mut(task).args);
         let mut ctx = TaskCtx::new(&mut self.state, task, core, ts);
         self.app.run_task(fid, ts, &args, &mut ctx);
-        ctx.into_outcome()
+        let outcome = ctx.into_outcome();
+        self.state.tasks.body_mut(task).args = args;
+        outcome
     }
 
     // ------------------------------------------------------------------
@@ -445,21 +511,22 @@ impl Engine {
         let tile = self.state.tile_of_core(core);
         self.state.tiles[tile.index()].running.retain(|&t| t != task);
 
-        let aborted = self.state.record(task).aborted;
+        let aborted = self.state.tasks.is_aborted(task);
+        let mut children = std::mem::take(&mut self.pending_children[core.index()]);
         if aborted {
             // The execution was doomed while in flight: drop the children it
             // wanted to create and requeue (or discard) the task itself.
-            self.pending_children.remove(&task);
+            children.clear();
             self.state.settle_aborted_running_task(task);
         } else {
             self.state.mark_finished(task);
             // Children become visible to the system when their parent's
             // execution completes.
-            let children = self.pending_children.remove(&task).unwrap_or_default();
-            for child in children {
+            for child in children.drain(..) {
                 self.enqueue_task(child.fid, child.ts, child.hint, child.args, Some(task))?;
             }
         }
+        self.state.recycle_children(children);
 
         self.state.cores[core.index()] = CoreState::Idle { since: self.now };
         self.process_wakes();
@@ -470,7 +537,7 @@ impl Engine {
     // Commits (GVT) and load balancing
     // ------------------------------------------------------------------
 
-    fn handle_gvt(&mut self) {
+    fn handle_gvt(&mut self) -> SimResult<()> {
         self.state.observers.gvt_update(self.now);
         // Each tile exchanges a GVT update with the arbiter (tile 0).
         let arbiter = TileId(0);
@@ -486,66 +553,147 @@ impl Engine {
         // have plenty of later idle tasks); pull it back in so the system
         // keeps making forward progress.
         if let Some((_, id)) = frontier {
-            if self.state.record(id).status == TaskStatus::Spilled {
+            if self.state.tasks.status(id) == TaskStatus::Spilled {
                 self.state.unspill_task(id);
             }
         }
-        let mut to_commit: Vec<TaskId> = Vec::new();
+        // Collect committable keys into scratch; sorting `(ts, id)` keys
+        // directly is the same order the seed got from sorting ids by
+        // `record.key()` (keys are unique), without touching the arena.
+        let mut keys = std::mem::take(&mut self.commit_scratch);
+        debug_assert!(keys.is_empty());
         for tile in 0..self.state.cfg.num_tiles() {
             for &(ts, id) in self.state.tiles[tile].finished.iter() {
-                let before_frontier = match frontier {
-                    Some(f) => (ts, id) < f,
-                    None => true,
-                };
-                if before_frontier {
-                    to_commit.push(id);
+                // The per-tile lists are sorted, so the first key at or past
+                // the frontier ends that tile's committable prefix.
+                if let Some(f) = frontier {
+                    if (ts, id) >= f {
+                        break;
+                    }
                 }
+                keys.push((ts, id));
             }
         }
         // Commit in key order so parents commit before their children.
-        to_commit.sort_by_key(|&id| self.state.record(id).key());
-        for id in to_commit {
+        keys.sort_unstable();
+        for &(_, id) in &keys {
             let (tile, bucket, cycles) = self.state.commit_task(id);
             self.mapper.on_commit(tile, bucket, cycles);
         }
+        keys.clear();
 
         // Relaxed commit of independent equal-timestamp tasks (unordered
         // programs): finished tasks at the frontier timestamp whose parent
         // has committed and whose data no earlier uncommitted task touches.
         if self.state.cfg.spec.relaxed_equal_ts_commit {
             if let Some((front_ts, _)) = self.state.gvt() {
-                let mut relaxed: Vec<TaskId> = Vec::new();
                 for tile in 0..self.state.cfg.num_tiles() {
                     for &(ts, id) in self.state.tiles[tile].finished.iter() {
+                        // Sorted list: keys past the frontier timestamp can
+                        // never be relaxed-committable, stop scanning.
+                        if ts > front_ts {
+                            break;
+                        }
                         if ts == front_ts && self.state.can_commit_relaxed(id) {
-                            relaxed.push(id);
+                            keys.push((ts, id));
                         }
                     }
                 }
-                relaxed.sort_by_key(|&id| self.state.record(id).key());
-                for id in relaxed {
-                    // Re-check: earlier relaxed commits may have changed the
-                    // line table, but only by *removing* earlier accessors,
-                    // which can only make more tasks eligible, never fewer.
+                keys.sort_unstable();
+                // No re-check needed: earlier relaxed commits may have
+                // changed the line table, but only by *removing* earlier
+                // accessors, which can only make more tasks eligible.
+                for &(_, id) in &keys {
                     let (tile, bucket, cycles) = self.state.commit_task(id);
                     self.mapper.on_commit(tile, bucket, cycles);
                 }
+                keys.clear();
             }
         }
+        self.commit_scratch = keys;
 
         self.process_wakes();
         if self.state.remaining_tasks > 0 {
-            self.schedule(self.now + self.state.cfg.spec.gvt_epoch, Event::Gvt);
+            // Deadlock check: every busy core has a Finish event pending and
+            // every wake produced by the commits above scheduled a
+            // TryDispatch, so if no core event is outstanding now, this tick
+            // changed nothing and neither will any future GVT/LB tick — the
+            // system can never progress. Report it instead of spinning on
+            // periodic events forever.
+            if self.pending_core_events == 0 {
+                return Err(SimError::Deadlock { remaining: self.state.remaining_tasks });
+            }
+            self.events.schedule(self.now + self.state.cfg.spec.gvt_epoch, Event::Gvt);
         }
+        Ok(())
     }
 
     fn handle_lb_epoch(&mut self) {
-        let idle = self.state.idle_per_tile();
-        if self.mapper.on_lb_epoch(self.now, &idle) {
+        self.state.idle_per_tile_into(&mut self.idle_scratch);
+        if self.mapper.on_lb_epoch(self.now, &self.idle_scratch) {
             self.state.observers.lb_reconfig(self.now);
         }
         if self.state.remaining_tasks > 0 {
-            self.schedule(self.now + self.state.cfg.lb_epoch, Event::LbEpoch);
+            self.events.schedule(self.now + self.state.cfg.lb_epoch, Event::LbEpoch);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::PinnedMapper;
+    use crate::task::InitialTask;
+
+    /// One task that writes one word and never enqueues a successor.
+    struct OneShot;
+
+    impl SwarmApp for OneShot {
+        fn name(&self) -> &str {
+            "one-shot"
+        }
+        fn initial_tasks(&self) -> Vec<InitialTask> {
+            vec![InitialTask::new(0, 0, Hint::None, vec![])]
+        }
+        fn run_task(&self, _fid: u16, _ts: u64, _args: &[u64], ctx: &mut TaskCtx<'_>) {
+            ctx.write(0x1000, 1);
+        }
+    }
+
+    #[test]
+    fn lost_task_reports_deadlock_instead_of_spinning() {
+        // The app's own task runs and commits, but a second task planted
+        // directly in the state is never made dispatchable (it is registered
+        // as remaining work without a task-queue entry or a wake — the
+        // lost-wake class of bug the deadlock detector exists for). The seed
+        // engine spun on GVT events forever here; it must now return a typed
+        // error naming the outstanding work.
+        let mut engine =
+            Engine::new(SystemConfig::single_core(), Box::new(OneShot), Box::new(PinnedMapper));
+        let desc = TaskDescriptor {
+            fid: 0,
+            ts: 99,
+            hint: Hint::None,
+            hint_hash: None,
+            bucket: None,
+            args: vec![],
+            parent: None,
+            tile: TileId(0),
+        };
+        let lost = engine.state.add_task(desc);
+        let key = engine.state.tasks.key(lost);
+        engine.state.tiles[0].idle.remove(&key);
+        engine.state.wake_tiles.clear();
+
+        let err = engine.run().expect_err("a lost task must be detected, not spun on");
+        assert_eq!(err, SimError::Deadlock { remaining: 1 });
+    }
+
+    #[test]
+    fn healthy_run_does_not_trip_the_deadlock_detector() {
+        let mut engine =
+            Engine::new(SystemConfig::single_core(), Box::new(OneShot), Box::new(PinnedMapper));
+        let stats = engine.run().expect("one task runs to completion");
+        assert_eq!(stats.tasks_committed, 1);
     }
 }

@@ -57,10 +57,13 @@
 //! ```
 
 pub mod app;
+pub mod arena;
 pub mod bloom;
 pub mod builder;
 pub mod conformance;
 pub mod engine;
+pub mod event_queue;
+pub mod key_list;
 pub mod line_table;
 pub mod mapper;
 pub mod observer;
@@ -69,9 +72,12 @@ pub mod stats;
 pub mod task;
 
 pub use app::{ExecutionOutcome, SwarmApp, TaskCtx};
+pub use arena::{TaskArena, TaskBody};
 pub use bloom::BloomFilter;
 pub use builder::{BuildError, MapperFactory, Sim, SimBuilder};
 pub use engine::{Engine, DEFAULT_TASK_LIMIT};
+pub use event_queue::{TimingWheel, WHEEL_SLOTS};
+pub use key_list::KeyList;
 pub use line_table::{LineAccessors, LineTable};
 pub use mapper::{PinnedMapper, RoundRobinMapper, TaskMapper};
 pub use observer::{
@@ -80,7 +86,7 @@ pub use observer::{
 };
 pub use state::{CoreState, SimState, TileState};
 pub use stats::{CommittedTaskAccesses, CycleBreakdown, RunStats};
-pub use task::{InitialTask, OrderKey, PendingChild, TaskDescriptor, TaskRecord, TaskStatus};
+pub use task::{InitialTask, OrderKey, PendingChild, TaskDescriptor, TaskStatus};
 
 #[cfg(test)]
 mod tests {

@@ -15,15 +15,24 @@
 //! interleavings.
 
 use swarm_mem::{OpenTable, Probe};
-use swarm_types::{LineAddr, TaskId};
+use swarm_types::LineAddr;
+
+use crate::task::OrderKey;
 
 /// Readers and writers currently registered for a cache line.
+///
+/// Entries carry the accessor's full commit-order key `(ts, id)`, not just
+/// its id: conflict checks compare keys on every speculative access, and
+/// looking the timestamp up in the task arena per entry was a random read
+/// into an ever-growing array (a near-guaranteed cache miss) on the hottest
+/// loop of the simulator. A task's key never changes, so the copy here can
+/// never go stale.
 #[derive(Debug, Clone, Default)]
 pub struct LineAccessors {
-    /// Uncommitted tasks that read the line.
-    pub readers: Vec<TaskId>,
-    /// Uncommitted tasks that wrote the line.
-    pub writers: Vec<TaskId>,
+    /// Commit-order keys of uncommitted tasks that read the line.
+    pub readers: Vec<OrderKey>,
+    /// Commit-order keys of uncommitted tasks that wrote the line.
+    pub writers: Vec<OrderKey>,
 }
 
 impl LineAccessors {
@@ -149,17 +158,19 @@ impl Default for LineTable {
 mod tests {
     use super::*;
 
+    use swarm_types::TaskId;
+
     #[test]
     fn insert_get_remove_round_trip() {
         let mut t = LineTable::new();
         assert!(t.is_empty());
         let line = LineAddr(42);
         assert!(t.get(line).is_none());
-        t.entry_or_default(line).readers.push(TaskId(7));
+        t.entry_or_default(line).readers.push((0, TaskId(7)));
         assert_eq!(t.len(), 1);
-        assert_eq!(t.get(line).unwrap().readers, vec![TaskId(7)]);
-        t.get_mut(line).unwrap().writers.push(TaskId(8));
-        assert_eq!(t.get(line).unwrap().writers, vec![TaskId(8)]);
+        assert_eq!(t.get(line).unwrap().readers, vec![(0, TaskId(7))]);
+        t.get_mut(line).unwrap().writers.push((1, TaskId(8)));
+        assert_eq!(t.get(line).unwrap().writers, vec![(1, TaskId(8))]);
         t.remove(line);
         assert!(t.get(line).is_none());
         assert!(t.is_empty());
@@ -171,7 +182,7 @@ mod tests {
     #[test]
     fn freed_slots_are_reused_without_stale_contents() {
         let mut t = LineTable::new();
-        t.entry_or_default(LineAddr(1)).readers.push(TaskId(1));
+        t.entry_or_default(LineAddr(1)).readers.push((0, TaskId(1)));
         t.remove(LineAddr(1));
         // The reused slot must come back empty.
         let acc = t.entry_or_default(LineAddr(2));
@@ -183,11 +194,11 @@ mod tests {
     fn grows_past_initial_capacity() {
         let mut t = LineTable::new();
         for line in 0..500u64 {
-            t.entry_or_default(LineAddr(line)).writers.push(TaskId(line));
+            t.entry_or_default(LineAddr(line)).writers.push((line, TaskId(line)));
         }
         assert_eq!(t.len(), 500);
         for line in 0..500u64 {
-            assert_eq!(t.get(LineAddr(line)).unwrap().writers, vec![TaskId(line)]);
+            assert_eq!(t.get(LineAddr(line)).unwrap().writers, vec![(line, TaskId(line))]);
         }
     }
 }

@@ -436,6 +436,25 @@ impl ObserverHub {
         &mut self.stats
     }
 
+    /// Whether anyone attached would see a dequeue event. The built-in
+    /// statistics observer ignores dequeues, so the engine skips building
+    /// the event entirely (a per-dispatch cost) unless a custom observer is
+    /// attached.
+    #[inline]
+    pub(crate) fn wants_dequeue(&self) -> bool {
+        !self.extra.is_empty()
+    }
+
+    /// Whether anyone attached would notice a zero-cycle core wait. The
+    /// built-in statistics observer only *sums* wait cycles, so a
+    /// `cycles == 0` event is invisible to it; the engine emits such events
+    /// (a core re-dispatching in the same cycle it went idle) only when a
+    /// custom observer is listening.
+    #[inline]
+    pub(crate) fn wants_zero_cycle_waits(&self) -> bool {
+        !self.extra.is_empty()
+    }
+
     #[inline]
     pub(crate) fn dequeue(&mut self, event: &DequeueEvent) {
         fan_out!(self, on_dequeue, event);

@@ -6,18 +6,23 @@
 //! substrate — enqueue with spilling, conflict detection, abort cascades with
 //! rollback, commits — while the [`crate::engine::Engine`] drives *when* they
 //! happen (event ordering, dispatch policy, GVT epochs).
+//!
+//! Task records live in a [`TaskArena`] (struct-of-arrays hot fields plus a
+//! free-listed body pool), and every conflict/abort path works out of
+//! persistent scratch buffers on this struct instead of allocating per
+//! conflict, so a steady-state simulation step performs no heap allocation.
 
-use std::collections::BTreeSet;
-
-use swarm_mem::{AccessKind, CacheModel, HitLevel, SimMemory};
+use swarm_mem::{AccessKind, CacheModel, HitLevel, SimMemory, UndoEntry};
 use swarm_noc::{Mesh, TrafficClass};
 use swarm_types::{Addr, CoreId, LineAddr, SystemConfig, TaskId, TileId};
 
+use crate::arena::TaskArena;
+use crate::key_list::KeyList;
 use crate::line_table::LineTable;
 use crate::observer::{
     AbortEvent, CommitEvent, NetworkEvent, ObserverHub, SpillDirection, SpillEvent,
 };
-use crate::task::{OrderKey, TaskDescriptor, TaskRecord, TaskStatus};
+use crate::task::{OrderKey, PendingChild, TaskDescriptor, TaskStatus};
 
 /// What a core is doing right now.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,13 +49,13 @@ pub enum CoreState {
 #[derive(Debug, Clone, Default)]
 pub struct TileState {
     /// Dispatchable tasks, ordered by commit key.
-    pub idle: BTreeSet<OrderKey>,
+    pub idle: KeyList,
     /// Tasks currently running on this tile's cores.
     pub running: Vec<TaskId>,
     /// Finished tasks holding commit-queue entries, ordered by commit key.
-    pub finished: BTreeSet<OrderKey>,
+    pub finished: KeyList,
     /// Tasks spilled to memory by the coalescer, ordered by commit key.
-    pub spilled: BTreeSet<OrderKey>,
+    pub spilled: KeyList,
 }
 
 impl TileState {
@@ -81,15 +86,13 @@ pub struct SimState {
     /// on every speculative access, and first SipHash, then the `HashMap`
     /// control-byte machinery, dominated its cost.
     pub line_table: LineTable,
-    /// All task records, indexed by `TaskId.0`.
-    pub records: Vec<TaskRecord>,
+    /// All task records: hot scalars in struct-of-arrays form, heavy bodies
+    /// in free-listed slots reclaimed on commit/discard.
+    pub tasks: TaskArena,
     /// Per-tile task unit state.
     pub tiles: Vec<TileState>,
     /// Per-core state.
     pub cores: Vec<CoreState>,
-    /// Keys of all *unfinished* tasks (idle, running or spilled); the GVT is
-    /// the minimum of this set. Finished-but-uncommitted tasks are not here.
-    pub unfinished: BTreeSet<OrderKey>,
     /// Number of tasks that are neither committed nor discarded; the run
     /// terminates when this reaches zero.
     pub remaining_tasks: u64,
@@ -107,6 +110,38 @@ pub struct SimState {
     /// Tiles that received new dispatchable work or freed commit slots since
     /// the engine last drained this list.
     pub wake_tiles: Vec<TileId>,
+    /// `log2(cores_per_tile)` when the count is a power of two, so
+    /// [`SimState::tile_of_core`] — called several times per task — can
+    /// shift instead of divide.
+    tile_shift: Option<u32>,
+
+    // Scratch buffers reused across conflict/abort events so the hot paths
+    // never allocate. Each is taken (`std::mem::take`), used, cleared and
+    // restored by exactly one non-reentrant method.
+    /// [`SimState::access_line`]: conflicting later-key tasks to abort.
+    scratch_victims: Vec<TaskId>,
+    /// [`SimState::abort_task`]: the computed abort set, in discovery order.
+    scratch_abort_set: Vec<TaskId>,
+    /// [`SimState::abort_task`]: DFS worklist for the abort closure.
+    scratch_abort_stack: Vec<TaskId>,
+    /// [`SimState::abort_task`]: per-member discard decision.
+    scratch_abort_discard: Vec<bool>,
+    /// [`SimState::abort_task`]: combined undo log of the abort set.
+    scratch_undo: Vec<UndoEntry>,
+
+    // Execution-context buffers recycled between task-body executions (at
+    // most one body runs at a time): [`crate::TaskCtx`] takes them on
+    // dispatch and the engine returns them once the outcome is integrated.
+    pub(crate) ctx_read_buf: Vec<LineAddr>,
+    pub(crate) ctx_write_buf: Vec<LineAddr>,
+    pub(crate) ctx_undo: Vec<UndoEntry>,
+    pub(crate) ctx_trace: Vec<(Addr, bool)>,
+    /// Pool of `PendingChild` buffers. Unlike the buffers above, a task's
+    /// children list outlives its execution event (it sits with the engine
+    /// until the `Finish` event integrates it), so one buffer is in flight
+    /// per busy core and a single recycle slot would leak capacity on every
+    /// concurrent dispatch burst.
+    pub(crate) ctx_children_pool: Vec<Vec<PendingChild>>,
 }
 
 impl SimState {
@@ -129,16 +164,29 @@ impl SimState {
             caches: CacheModel::new(cfg.cache.clone(), num_tiles, cfg.cores_per_tile),
             mesh: Mesh::new(cfg.tiles_x, cfg.tiles_y, cfg.noc.clone()),
             line_table: LineTable::new(),
-            records: Vec::new(),
+            tasks: TaskArena::new(),
             tiles: vec![TileState::default(); num_tiles],
             cores: vec![CoreState::Idle { since: 0 }; num_cores],
-            unfinished: BTreeSet::new(),
             remaining_tasks: 0,
             conflict_checks: 0,
             bloom_false_positives: 0,
             profiling: false,
             observers: ObserverHub::new(num_tiles),
             wake_tiles: Vec::new(),
+            tile_shift: cfg
+                .cores_per_tile
+                .is_power_of_two()
+                .then(|| cfg.cores_per_tile.trailing_zeros()),
+            scratch_victims: Vec::new(),
+            scratch_abort_set: Vec::new(),
+            scratch_abort_stack: Vec::new(),
+            scratch_abort_discard: Vec::new(),
+            scratch_undo: Vec::new(),
+            ctx_read_buf: Vec::new(),
+            ctx_write_buf: Vec::new(),
+            ctx_undo: Vec::new(),
+            ctx_trace: Vec::new(),
+            ctx_children_pool: Vec::new(),
             cfg,
         }
     }
@@ -151,8 +199,12 @@ impl SimState {
     }
 
     /// The tile a core belongs to.
+    #[inline]
     pub fn tile_of_core(&self, core: CoreId) -> TileId {
-        core.tile(self.cfg.cores_per_tile)
+        match self.tile_shift {
+            Some(shift) => TileId(core.0 >> shift),
+            None => core.tile(self.cfg.cores_per_tile),
+        }
     }
 
     /// Cores belonging to `tile` (contiguous global core ids).
@@ -161,43 +213,62 @@ impl SimState {
         (first..first + self.cfg.cores_per_tile).map(CoreId)
     }
 
-    /// Immutable access to a task record.
-    pub fn record(&self, id: TaskId) -> &TaskRecord {
-        &self.records[id.0 as usize]
-    }
-
-    /// Mutable access to a task record.
-    pub fn record_mut(&mut self, id: TaskId) -> &mut TaskRecord {
-        &mut self.records[id.0 as usize]
-    }
-
     /// Number of tasks that are neither committed nor discarded.
     pub fn live_tasks(&self) -> usize {
         self.remaining_tasks as usize
     }
 
-    /// Mark a running task as finished: move it to the commit queue and drop
-    /// it from the unfinished (GVT) set.
+    /// Mark a running task as finished: move it to the commit queue. (The
+    /// engine removes it from the tile's running list, so [`SimState::gvt`]
+    /// stops counting it as unfinished from that point on.)
     pub fn mark_finished(&mut self, task: TaskId) {
-        let (tile, key) = {
-            let rec = self.record(task);
-            (rec.desc.tile, rec.key())
-        };
-        self.record_mut(task).status = TaskStatus::Finished;
+        let tile = self.tasks.tile(task);
+        let key = self.tasks.key(task);
+        self.tasks.set_status(task, TaskStatus::Finished);
         self.tiles[tile.index()].finished.insert(key);
-        self.unfinished.remove(&key);
     }
 
     /// Number of idle (dispatchable) tasks per tile.
     pub fn idle_per_tile(&self) -> Vec<usize> {
-        self.tiles.iter().map(|t| t.idle.len()).collect()
+        let mut out = Vec::new();
+        self.idle_per_tile_into(&mut out);
+        out
+    }
+
+    /// Fill `out` with the number of idle tasks per tile (the allocation-free
+    /// variant the engine's dispatch/lb hot paths use).
+    pub fn idle_per_tile_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.tiles.iter().map(|t| t.idle.len()));
     }
 
     /// The global virtual time: the commit key of the earliest unfinished
     /// task. `None` means every remaining task has finished executing, so
     /// all of them may commit.
+    ///
+    /// Computed by direct scan: every unfinished task lives in exactly one
+    /// per-tile structure (idle and spilled are sorted key lists with O(1)
+    /// minimums; running is at most one task per core), so the minimum falls
+    /// out of a few dozen comparisons — no auxiliary priority queue to keep
+    /// in sync with status changes.
     pub fn gvt(&self) -> Option<OrderKey> {
-        self.unfinished.first().copied()
+        let mut min: Option<OrderKey> = None;
+        for tile in &self.tiles {
+            for k in
+                [tile.idle.first().copied(), tile.spilled.first().copied()].into_iter().flatten()
+            {
+                if min.is_none_or(|m| k < m) {
+                    min = Some(k);
+                }
+            }
+            for &t in &tile.running {
+                let k = self.tasks.key(t);
+                if min.is_none_or(|m| k < m) {
+                    min = Some(k);
+                }
+            }
+        }
+        min
     }
 
     fn note_wake(&mut self, tile: TileId) {
@@ -211,6 +282,32 @@ impl SimState {
         std::mem::take(&mut self.wake_tiles)
     }
 
+    /// Return a (cleared) `PendingChild` buffer to the pool for a later
+    /// task execution to accumulate children into.
+    pub(crate) fn recycle_children(&mut self, mut buf: Vec<PendingChild>) {
+        buf.clear();
+        self.ctx_children_pool.push(buf);
+    }
+
+    /// Return the execution-outcome buffers (cleared) after the engine has
+    /// copied their contents into the task's body.
+    pub(crate) fn recycle_exec_buffers(
+        &mut self,
+        mut reads: Vec<LineAddr>,
+        mut writes: Vec<LineAddr>,
+        mut undo: Vec<UndoEntry>,
+        mut trace: Vec<(Addr, bool)>,
+    ) {
+        reads.clear();
+        writes.clear();
+        undo.clear();
+        trace.clear();
+        self.ctx_read_buf = reads;
+        self.ctx_write_buf = writes;
+        self.ctx_undo = undo;
+        self.ctx_trace = trace;
+    }
+
     // ------------------------------------------------------------------
     // Task creation, spilling and refilling
     // ------------------------------------------------------------------
@@ -218,21 +315,17 @@ impl SimState {
     /// Register a new task and place it in its destination tile's task
     /// queue, spilling older idle tasks if the queue is full. Returns the
     /// new task's id.
-    pub fn add_task(&mut self, mut desc: TaskDescriptor) -> TaskId {
-        let id = TaskId(self.records.len() as u64);
-        desc.id = id;
+    pub fn add_task(&mut self, desc: TaskDescriptor) -> TaskId {
         let tile = desc.tile;
-        let key = (desc.ts, id);
-        let record = TaskRecord::new(desc);
-        self.records.push(record);
-        self.unfinished.insert(key);
+        let ts = desc.ts;
+        let id = self.tasks.add(desc);
+        let key = (ts, id);
         self.remaining_tasks += 1;
 
         if self.tiles[tile.index()].task_queue_occupancy() >= self.cfg.task_queue_per_tile() {
             self.spill_from_tile(tile);
         }
         self.tiles[tile.index()].idle.insert(key);
-        self.record_mut(id).status = TaskStatus::Idle;
         self.note_wake(tile);
         id
     }
@@ -252,7 +345,7 @@ impl SimState {
             }
             self.tiles[tile.index()].idle.remove(&key);
             self.tiles[tile.index()].spilled.insert(key);
-            self.record_mut(key.1).status = TaskStatus::Spilled;
+            self.tasks.set_status(key.1, TaskStatus::Spilled);
             spilled += 1;
         }
         if spilled > 0 {
@@ -281,7 +374,7 @@ impl SimState {
             let Some(&key) = self.tiles[tile.index()].spilled.first() else { break };
             self.tiles[tile.index()].spilled.remove(&key);
             self.tiles[tile.index()].idle.insert(key);
-            self.record_mut(key.1).status = TaskStatus::Idle;
+            self.tasks.set_status(key.1, TaskStatus::Idle);
             refilled += 1;
         }
         if refilled > 0 {
@@ -304,16 +397,14 @@ impl SimState {
     /// sits in a spill buffer: it must become dispatchable or the GVT can
     /// never advance past it).
     pub fn unspill_task(&mut self, task: TaskId) {
-        let (tile, key) = {
-            let rec = self.record(task);
-            (rec.desc.tile, rec.key())
-        };
-        if self.record(task).status != TaskStatus::Spilled {
+        if self.tasks.status(task) != TaskStatus::Spilled {
             return;
         }
+        let tile = self.tasks.tile(task);
+        let key = self.tasks.key(task);
         self.tiles[tile.index()].spilled.remove(&key);
         self.tiles[tile.index()].idle.insert(key);
-        self.record_mut(task).status = TaskStatus::Idle;
+        self.tasks.set_status(task, TaskStatus::Idle);
         self.observers.spill(&SpillEvent {
             tile,
             tasks: 1,
@@ -335,7 +426,7 @@ impl SimState {
         let &key = self.tiles[victim.index()].idle.first()?;
         self.tiles[victim.index()].idle.remove(&key);
         self.tiles[thief.index()].idle.insert(key);
-        self.record_mut(key.1).desc.tile = thief;
+        self.tasks.set_tile(key.1, thief);
         Some(key.1)
     }
 
@@ -370,39 +461,44 @@ impl SimState {
     /// later-key tasks eagerly. Returns the access latency.
     fn access_line(&mut self, task: TaskId, core: CoreId, addr: Addr, kind: AccessKind) -> u64 {
         let line = LineAddr::containing(addr);
-        let my_key = self.record(task).key();
+        let my_key = self.tasks.key(task);
         let tile = self.tile_of_core(core);
 
         // Eager conflict detection: any uncommitted, later-key task that has
         // accessed this line in a conflicting way must abort (its accesses
-        // would otherwise appear out of timestamp order).
-        let mut victims: Vec<TaskId> = Vec::new();
+        // would otherwise appear out of timestamp order). The victim list is
+        // a persistent scratch buffer: conflicts are frequent under
+        // contention and a fresh Vec per access was measurable.
+        let mut victims = std::mem::take(&mut self.scratch_victims);
+        debug_assert!(victims.is_empty());
         let mut check_cost = 0;
         if let Some(acc) = self.line_table.get(line) {
             self.conflict_checks += 1;
             let compared = (acc.readers.len() + acc.writers.len()) as u64;
             check_cost =
                 self.cfg.spec.conflict_check_cost + compared * self.cfg.spec.conflict_compare_cost;
-            for &w in &acc.writers {
-                if w != task && self.record(w).key() > my_key {
-                    victims.push(w);
+            for &wk in &acc.writers {
+                if wk.1 != task && wk > my_key {
+                    victims.push(wk.1);
                 }
             }
             if kind == AccessKind::Write {
-                for &r in &acc.readers {
-                    if r != task && self.record(r).key() > my_key && !victims.contains(&r) {
-                        victims.push(r);
+                for &rk in &acc.readers {
+                    if rk.1 != task && rk > my_key && !victims.contains(&rk.1) {
+                        victims.push(rk.1);
                     }
                 }
             }
         }
-        for v in victims {
+        for &v in &victims {
             // The victim may already have been aborted transitively.
-            if !self.record(v).key_is_live_for_abort() {
+            if !self.tasks.key_is_live_for_abort(v) {
                 continue;
             }
             self.abort_task(v, tile);
         }
+        victims.clear();
+        self.scratch_victims = victims;
 
         // Charge the cache/NoC cost of the access itself.
         let outcome = self.caches.access(core, line, kind);
@@ -441,45 +537,46 @@ impl SimState {
     /// Register a completed execution's read/write sets in the line table so
     /// later accesses by other tasks can detect conflicts against it.
     ///
-    /// The sets are taken out of the record and restored afterwards (instead
-    /// of cloned) so that registering a task allocates nothing.
+    /// The sets are taken out of the task's body and restored afterwards
+    /// (instead of cloned) so that registering a task allocates nothing.
     pub fn register_access_sets(&mut self, task: TaskId) {
-        let rec = self.record_mut(task);
-        let reads = std::mem::take(&mut rec.read_set);
-        let writes = std::mem::take(&mut rec.write_set);
+        let key = self.tasks.key(task);
+        let body = self.tasks.body_mut(task);
+        let reads = std::mem::take(&mut body.read_set);
+        let writes = std::mem::take(&mut body.write_set);
         for &line in &reads {
             let acc = self.line_table.entry_or_default(line);
-            if !acc.readers.contains(&task) {
-                acc.readers.push(task);
+            if !acc.readers.contains(&key) {
+                acc.readers.push(key);
             }
         }
         for &line in &writes {
             let acc = self.line_table.entry_or_default(line);
-            if !acc.writers.contains(&task) {
-                acc.writers.push(task);
+            if !acc.writers.contains(&key) {
+                acc.writers.push(key);
             }
         }
-        let rec = self.record_mut(task);
-        rec.read_set = reads;
-        rec.write_set = writes;
+        let body = self.tasks.body_mut(task);
+        body.read_set = reads;
+        body.write_set = writes;
     }
 
     fn unregister_access_sets(&mut self, task: TaskId) {
-        let rec = self.record_mut(task);
-        let reads = std::mem::take(&mut rec.read_set);
-        let writes = std::mem::take(&mut rec.write_set);
+        let body = self.tasks.body_mut(task);
+        let reads = std::mem::take(&mut body.read_set);
+        let writes = std::mem::take(&mut body.write_set);
         for &line in reads.iter().chain(writes.iter()) {
             if let Some(acc) = self.line_table.get_mut(line) {
-                acc.readers.retain(|&t| t != task);
-                acc.writers.retain(|&t| t != task);
+                acc.readers.retain(|&k| k.1 != task);
+                acc.writers.retain(|&k| k.1 != task);
                 if acc.is_empty() {
                     self.line_table.remove(line);
                 }
             }
         }
-        let rec = self.record_mut(task);
-        rec.read_set = reads;
-        rec.write_set = writes;
+        let body = self.tasks.body_mut(task);
+        body.read_set = reads;
+        body.write_set = writes;
     }
 
     // ------------------------------------------------------------------
@@ -490,31 +587,38 @@ impl SimState {
     /// descendants (children will be re-created when the task re-runs) and
     /// every uncommitted later-key task that read or wrote data `victim`
     /// wrote (conservative data-dependence closure).
+    ///
+    /// Works entirely out of persistent scratch buffers; a cascade of any
+    /// size allocates only if it outgrows every previous cascade. Not
+    /// reentrant (an abort cannot trigger another abort — the cascade
+    /// already computes the full closure).
     pub fn abort_task(&mut self, victim: TaskId, aborter_tile: TileId) {
         // 1. Compute the abort set (closure over children and dependents).
-        let mut set: Vec<TaskId> = Vec::new();
-        let mut stack = vec![victim];
+        let mut set = std::mem::take(&mut self.scratch_abort_set);
+        let mut stack = std::mem::take(&mut self.scratch_abort_stack);
+        debug_assert!(set.is_empty() && stack.is_empty());
+        stack.push(victim);
         while let Some(t) = stack.pop() {
             if set.contains(&t) {
                 continue;
             }
-            let rec = self.record(t);
-            if rec.status.is_terminal() {
+            if self.tasks.status(t).is_terminal() {
                 continue;
             }
             set.push(t);
+            let my_key = self.tasks.key(t);
+            let body = self.tasks.body(t);
             // Children of the current execution.
-            for &c in &rec.children {
+            for &c in &body.children {
                 stack.push(c);
             }
             // Data-dependent tasks: later-key readers/writers of lines this
             // task wrote.
-            let my_key = rec.key();
-            for &line in &rec.write_set {
+            for &line in &body.write_set {
                 if let Some(acc) = self.line_table.get(line) {
-                    for &other in acc.readers.iter().chain(acc.writers.iter()) {
-                        if other != t && self.record(other).key() > my_key {
-                            stack.push(other);
+                    for &ok in acc.readers.iter().chain(acc.writers.iter()) {
+                        if ok.1 != t && ok > my_key {
+                            stack.push(ok.1);
                         }
                     }
                 }
@@ -523,26 +627,31 @@ impl SimState {
 
         // 2. Decide which members are discarded (their parent is also being
         //    aborted, so the parent's re-execution will re-create them).
-        let discard: Vec<bool> = set
-            .iter()
-            .map(|&t| self.record(t).desc.parent.map(|p| set.contains(&p)).unwrap_or(false))
-            .collect();
+        let mut discard = std::mem::take(&mut self.scratch_abort_discard);
+        debug_assert!(discard.is_empty());
+        for &t in &set {
+            discard.push(self.tasks.body(t).parent.map(|p| set.contains(&p)).unwrap_or(false));
+        }
 
         // 3. Roll back all undo entries of the set, newest store first.
-        let mut undo: Vec<swarm_mem::UndoEntry> = Vec::new();
+        let mut undo = std::mem::take(&mut self.scratch_undo);
+        debug_assert!(undo.is_empty());
         for &t in &set {
-            undo.extend(self.record(t).undo.iter().copied());
+            undo.extend_from_slice(&self.tasks.body(t).undo);
         }
         let rollback_entries = undo.len() as u64;
         self.mem.rollback_all(&mut undo);
+        undo.clear();
+        self.scratch_undo = undo;
 
         // 4. Update per-task state.
-        for (i, &t) in set.iter().enumerate() {
+        for i in 0..set.len() {
+            let t = set[i];
             self.unregister_access_sets(t);
-            let tile = self.record(t).desc.tile;
-            let status = self.record(t).status;
-            let key = self.record(t).key();
-            let already_aborted = self.record(t).aborted;
+            let tile = self.tasks.tile(t);
+            let status = self.tasks.status(t);
+            let key = self.tasks.key(t);
+            let already_aborted = self.tasks.is_aborted(t);
             let executed = !already_aborted
                 && matches!(status, TaskStatus::Running { .. } | TaskStatus::Finished);
             // Announce each doomed task once: a Running member that an
@@ -550,8 +659,8 @@ impl SimState {
             // was announced then, so a second cascade reaching it is not a
             // new abort.
             if !status.is_terminal() && !already_aborted {
-                let cycles = if executed { self.record(t).exec_cycles } else { 0 };
-                let ts = self.record(t).desc.ts;
+                let cycles = if executed { self.tasks.body(t).exec_cycles } else { 0 };
+                let ts = self.tasks.ts(t);
                 self.observers.abort(&AbortEvent {
                     task: t,
                     ts,
@@ -585,30 +694,37 @@ impl SimState {
                     // scheduled finish; the engine requeues or discards it
                     // then. Mark it so. A discard decision is sticky: once a
                     // parent abort dooms the task it must never be requeued.
-                    let rec = self.record_mut(t);
-                    rec.aborted = true;
-                    rec.pending_discard = rec.pending_discard || discard[i];
-                    rec.reset_speculation_only();
+                    self.tasks.set_aborted(t, true);
+                    let doomed = self.tasks.pending_discard(t) || discard[i];
+                    self.tasks.set_pending_discard(t, doomed);
+                    self.tasks.body_mut(t).reset_speculation_only();
                     continue;
                 }
                 TaskStatus::Committed | TaskStatus::Discarded => continue,
             }
             // Non-running members are reset immediately.
-            let rec = self.record_mut(t);
-            rec.reset_execution();
-            rec.abort_count += 1;
+            {
+                let body = self.tasks.body_mut(t);
+                body.reset_execution();
+                body.abort_count += 1;
+            }
             if discard[i] {
-                rec.status = TaskStatus::Discarded;
-                self.unfinished.remove(&key);
+                self.tasks.set_status(t, TaskStatus::Discarded);
                 self.remaining_tasks -= 1;
+                self.tasks.free_body(t);
             } else {
-                rec.status = TaskStatus::Idle;
-                rec.aborted = false;
-                self.unfinished.insert(key);
+                self.tasks.set_status(t, TaskStatus::Idle);
+                self.tasks.set_aborted(t, false);
                 self.tiles[tile.index()].idle.insert(key);
                 self.note_wake(tile);
             }
         }
+
+        set.clear();
+        discard.clear();
+        self.scratch_abort_set = set;
+        self.scratch_abort_stack = stack;
+        self.scratch_abort_discard = discard;
 
         // 5. Rollback memory traffic.
         if rollback_entries > 0 {
@@ -620,23 +736,23 @@ impl SimState {
     /// Requeue or discard a running task whose execution was aborted, once
     /// its core finally releases it. Returns `true` if it was requeued.
     pub fn settle_aborted_running_task(&mut self, task: TaskId) -> bool {
-        let (tile, key, discard) = {
-            let rec = self.record(task);
-            (rec.desc.tile, rec.key(), rec.pending_discard)
-        };
-        let rec = self.record_mut(task);
-        rec.reset_execution();
-        rec.abort_count += 1;
-        rec.aborted = false;
-        rec.pending_discard = false;
+        let tile = self.tasks.tile(task);
+        let key = self.tasks.key(task);
+        let discard = self.tasks.pending_discard(task);
+        {
+            let body = self.tasks.body_mut(task);
+            body.reset_execution();
+            body.abort_count += 1;
+        }
+        self.tasks.set_aborted(task, false);
+        self.tasks.set_pending_discard(task, false);
         if discard {
-            rec.status = TaskStatus::Discarded;
-            self.unfinished.remove(&key);
+            self.tasks.set_status(task, TaskStatus::Discarded);
             self.remaining_tasks -= 1;
+            self.tasks.free_body(task);
             false
         } else {
-            rec.status = TaskStatus::Idle;
-            self.unfinished.insert(key);
+            self.tasks.set_status(task, TaskStatus::Idle);
             self.tiles[tile.index()].idle.insert(key);
             self.note_wake(tile);
             true
@@ -648,27 +764,30 @@ impl SimState {
     // ------------------------------------------------------------------
 
     /// Commit a finished task: free its commit-queue entry, retire its
-    /// speculative state and account its cycles. Returns `(tile, bucket,
-    /// exec_cycles)` so the engine can inform the mapper.
+    /// speculative state (reclaiming its arena body slot) and account its
+    /// cycles. Returns `(tile, bucket, exec_cycles)` so the engine can
+    /// inform the mapper.
     pub fn commit_task(&mut self, task: TaskId) -> (TileId, Option<u16>, u64) {
-        let (tile, key, cycles, bucket) = {
-            let rec = self.record(task);
-            debug_assert_eq!(rec.status, TaskStatus::Finished, "only finished tasks commit");
-            (rec.desc.tile, rec.key(), rec.exec_cycles, rec.desc.bucket)
+        debug_assert_eq!(
+            self.tasks.status(task),
+            TaskStatus::Finished,
+            "only finished tasks commit"
+        );
+        let tile = self.tasks.tile(task);
+        let key = self.tasks.key(task);
+        let ts = self.tasks.ts(task);
+        let (cycles, bucket, hint, num_args) = {
+            let body = self.tasks.body(task);
+            (body.exec_cycles, body.bucket, body.hint, body.args.len())
         };
         self.unregister_access_sets(task);
         self.tiles[tile.index()].finished.remove(&key);
         self.remaining_tasks -= 1;
-        {
-            // Take the trace out of the record so the event can borrow it
-            // while the observers borrow the rest of the state; it is not
-            // restored (commits free their speculative memory anyway).
-            let profiling = self.profiling;
-            let trace = std::mem::take(&mut self.record_mut(task).access_trace);
-            let (ts, hint, num_args) = {
-                let rec = self.record(task);
-                (rec.desc.ts, rec.desc.hint, rec.desc.args.len())
-            };
+        if self.profiling {
+            // Take the trace out of the body so the event can borrow it
+            // while the observers borrow the rest of the state; its (cleared)
+            // buffer goes back afterwards so the slot recycles the capacity.
+            let mut trace = std::mem::take(&mut self.tasks.body_mut(task).access_trace);
             self.observers.commit(&CommitEvent {
                 task,
                 ts,
@@ -677,14 +796,25 @@ impl SimState {
                 bucket,
                 cycles,
                 num_args,
-                accesses: profiling.then_some(trace.as_slice()),
+                accesses: Some(trace.as_slice()),
+            });
+            trace.clear();
+            self.tasks.body_mut(task).access_trace = trace;
+        } else {
+            self.observers.commit(&CommitEvent {
+                task,
+                ts,
+                hint,
+                tile,
+                bucket,
+                cycles,
+                num_args,
+                accesses: None,
             });
         }
-        let rec = self.record_mut(task);
-        rec.status = TaskStatus::Committed;
-        // Free speculative state memory.
-        rec.undo.clear();
-        rec.undo.shrink_to_fit();
+        self.tasks.set_status(task, TaskStatus::Committed);
+        // Reclaim the body slot: the task's speculative state is final.
+        self.tasks.free_body(task);
         self.note_wake(tile);
         (tile, bucket, cycles)
     }
@@ -693,54 +823,38 @@ impl SimState {
     /// timestamp: its parent must have committed and no uncommitted
     /// earlier-key task may have touched its data in a conflicting way.
     pub fn can_commit_relaxed(&self, task: TaskId) -> bool {
-        let rec = self.record(task);
-        if rec.status != TaskStatus::Finished {
+        if self.tasks.status(task) != TaskStatus::Finished {
             return false;
         }
-        if let Some(parent) = rec.desc.parent {
-            if self.record(parent).status != TaskStatus::Committed {
+        let body = self.tasks.body(task);
+        if let Some(parent) = body.parent {
+            // Statuses outlive arena bodies, so this works even for parents
+            // that committed (and had their body slot reclaimed) long ago.
+            if self.tasks.status(parent) != TaskStatus::Committed {
                 return false;
             }
         }
-        let my_key = rec.key();
+        let my_key = self.tasks.key(task);
         // No earlier uncommitted writer of anything I read or wrote, and no
         // earlier uncommitted reader of anything I wrote.
-        for &line in rec.read_set.iter().chain(rec.write_set.iter()) {
+        for &line in body.read_set.iter().chain(body.write_set.iter()) {
             if let Some(acc) = self.line_table.get(line) {
-                for &w in &acc.writers {
-                    if w != task && self.record(w).key() < my_key {
+                for &wk in &acc.writers {
+                    if wk.1 != task && wk < my_key {
                         return false;
                     }
                 }
             }
         }
-        for &line in &rec.write_set {
+        for &line in &body.write_set {
             if let Some(acc) = self.line_table.get(line) {
-                for &r in &acc.readers {
-                    if r != task && self.record(r).key() < my_key {
+                for &rk in &acc.readers {
+                    if rk.1 != task && rk < my_key {
                         return false;
                     }
                 }
             }
         }
         true
-    }
-}
-
-impl TaskRecord {
-    /// Whether an abort request against this task still makes sense.
-    pub(crate) fn key_is_live_for_abort(&self) -> bool {
-        !self.status.is_terminal() && !self.aborted
-    }
-
-    /// Roll back only the speculation bookkeeping of a running task (its
-    /// undo entries have already been applied by the cascade); keep the
-    /// descriptor and timing so the engine can settle it at finish time.
-    pub(crate) fn reset_speculation_only(&mut self) {
-        self.read_set.clear();
-        self.write_set.clear();
-        self.undo.clear();
-        self.children.clear();
-        self.access_trace.clear();
     }
 }

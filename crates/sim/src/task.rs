@@ -1,18 +1,22 @@
-//! Task descriptors and per-task speculative state.
+//! Task descriptors and lifecycle states.
+//!
+//! The per-task speculative state itself (read/write sets, undo log,
+//! children, timing) lives in the free-listed [`crate::arena::TaskArena`];
+//! this module holds the value types that describe a task at enqueue time
+//! and its lifecycle status.
 
-use swarm_mem::UndoEntry;
-use swarm_types::{CoreId, Hint, LineAddr, TaskFnId, TaskId, TileId, Timestamp};
+use swarm_types::{CoreId, Hint, TaskFnId, TaskId, TileId, Timestamp};
 
 /// The commit-order key of a task: tasks appear to execute in `(timestamp,
 /// creation id)` order. Children always have larger ids than their parents,
 /// so a parent always precedes its children in this order.
 pub type OrderKey = (Timestamp, TaskId);
 
-/// A task known to the hardware: the contents of a task-queue entry.
+/// A task as handed to the hardware at enqueue time: the contents of a
+/// task-queue entry, before an id is assigned by the
+/// [`crate::arena::TaskArena`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskDescriptor {
-    /// Unique, monotonically increasing id.
-    pub id: TaskId,
     /// Task function to run.
     pub fid: TaskFnId,
     /// Program-order timestamp.
@@ -28,15 +32,8 @@ pub struct TaskDescriptor {
     pub args: Vec<u64>,
     /// Parent task, if any (initial tasks have none).
     pub parent: Option<TaskId>,
-    /// Tile whose task unit currently holds this task.
+    /// Tile whose task unit will hold this task.
     pub tile: TileId,
-}
-
-impl TaskDescriptor {
-    /// The task's commit-order key.
-    pub fn key(&self) -> OrderKey {
-        (self.ts, self.id)
-    }
 }
 
 /// Where a task currently is in its lifecycle.
@@ -71,73 +68,6 @@ impl TaskStatus {
     /// Whether the task is finished with its current execution attempt.
     pub fn is_terminal(self) -> bool {
         matches!(self, TaskStatus::Committed | TaskStatus::Discarded)
-    }
-}
-
-/// Full speculative state of a task tracked by the simulator.
-#[derive(Debug, Clone)]
-pub struct TaskRecord {
-    /// The task descriptor.
-    pub desc: TaskDescriptor,
-    /// Lifecycle status.
-    pub status: TaskStatus,
-    /// Whether the current (or just-completed) execution has been aborted
-    /// and must be re-run (or discarded if the parent aborted too).
-    pub aborted: bool,
-    /// For an aborted, still-running task: whether it should be discarded
-    /// (its parent also aborted) instead of requeued when its core frees.
-    pub pending_discard: bool,
-    /// Cache lines read by the current execution.
-    pub read_set: Vec<LineAddr>,
-    /// Cache lines written by the current execution.
-    pub write_set: Vec<LineAddr>,
-    /// Undo-log entries of the current execution (already applied to memory).
-    pub undo: Vec<UndoEntry>,
-    /// Children created by the current execution.
-    pub children: Vec<TaskId>,
-    /// Cycles consumed by the current execution.
-    pub exec_cycles: u64,
-    /// Cycle at which the current execution was dispatched.
-    pub dispatched_at: u64,
-    /// Number of times this task has been aborted so far.
-    pub abort_count: u32,
-    /// Word-granular accesses (addr, is_write) recorded when profiling is on.
-    pub access_trace: Vec<(u64, bool)>,
-}
-
-impl TaskRecord {
-    /// Create a fresh record for a newly enqueued task.
-    pub fn new(desc: TaskDescriptor) -> Self {
-        TaskRecord {
-            desc,
-            status: TaskStatus::Idle,
-            aborted: false,
-            pending_discard: false,
-            read_set: Vec::new(),
-            write_set: Vec::new(),
-            undo: Vec::new(),
-            children: Vec::new(),
-            exec_cycles: 0,
-            dispatched_at: 0,
-            abort_count: 0,
-            access_trace: Vec::new(),
-        }
-    }
-
-    /// The task's commit-order key.
-    pub fn key(&self) -> OrderKey {
-        self.desc.key()
-    }
-
-    /// Clear all speculative state accumulated by the current execution
-    /// (called after an abort, before the task is re-queued).
-    pub fn reset_execution(&mut self) {
-        self.read_set.clear();
-        self.write_set.clear();
-        self.undo.clear();
-        self.children.clear();
-        self.exec_cycles = 0;
-        self.access_trace.clear();
     }
 }
 
@@ -180,24 +110,11 @@ pub struct PendingChild {
 mod tests {
     use super::*;
 
-    fn desc(id: u64, ts: Timestamp) -> TaskDescriptor {
-        TaskDescriptor {
-            id: TaskId(id),
-            fid: 0,
-            ts,
-            hint: Hint::None,
-            hint_hash: None,
-            bucket: None,
-            args: vec![],
-            parent: None,
-            tile: TileId(0),
-        }
-    }
-
     #[test]
-    fn key_orders_by_timestamp_then_id() {
-        assert!(desc(5, 1).key() < desc(1, 2).key());
-        assert!(desc(1, 3).key() < desc(2, 3).key());
+    fn order_key_sorts_by_timestamp_then_id() {
+        let key = |ts, id| -> OrderKey { (ts, TaskId(id)) };
+        assert!(key(1, 5) < key(2, 1));
+        assert!(key(3, 1) < key(3, 2));
     }
 
     #[test]
@@ -209,19 +126,5 @@ mod tests {
         assert!(TaskStatus::Committed.is_terminal());
         assert!(TaskStatus::Discarded.is_terminal());
         assert!(!TaskStatus::Idle.is_terminal());
-    }
-
-    #[test]
-    fn reset_execution_clears_speculative_state() {
-        let mut rec = TaskRecord::new(desc(1, 1));
-        rec.read_set.push(LineAddr(1));
-        rec.write_set.push(LineAddr(2));
-        rec.children.push(TaskId(9));
-        rec.exec_cycles = 100;
-        rec.reset_execution();
-        assert!(rec.read_set.is_empty());
-        assert!(rec.write_set.is_empty());
-        assert!(rec.children.is_empty());
-        assert_eq!(rec.exec_cycles, 0);
     }
 }

@@ -1,0 +1,136 @@
+//! Locks the "zero heap allocation in the steady-state hot loop" guarantee
+//! for the engine: once its structures are warm (arena slots, recycled
+//! execution buffers, timing-wheel slots, per-tile key lists, line table),
+//! executing more tasks must not touch the allocator.
+//!
+//! The engine has no public stepping API — a run goes to completion — so
+//! the invariant is pinned differentially: two identical workloads that
+//! differ only in chain length must allocate (almost) the same number of
+//! times. Everything the engine allocates per *step* is warm-up
+//! (construction plus first-use growth, which both runs share); the only
+//! growth allowed from running 7x longer is the O(log n) capacity-doubling
+//! of the persistent per-task metadata arrays (status / key / timestamp,
+//! which are indexed by task id and so scale with tasks *ever created*,
+//! not tasks in flight). A handful of doublings across a 7x task-count
+//! increase is the signature of amortised `Vec` growth; anything linear in
+//! the extra ~1.8k–14k tasks blows through the bound immediately.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use swarm_sim::{InitialTask, RoundRobinMapper, Sim, SwarmApp, TaskCtx};
+use swarm_types::Hint;
+
+struct CountingAllocator;
+
+// Per-thread counter so the libtest harness (and other tests running on
+// their own threads) cannot bump the count mid-measurement. The const
+// initializer keeps the first per-thread access allocation-free, and
+// `Cell<u64>` has no destructor to register.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is a
+// plain thread-local cell with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|count| count.set(count.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|count| count.set(count.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn measured(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+/// `roots` ordered chains of `chain + 1` tasks, argument-free (the chain
+/// position is recovered from the timestamp), each touching one line per
+/// chain and enqueuing its successor. The same shape as the
+/// `engine_cycles_per_sec` benchmark workload, minus the per-child argument
+/// vector, so each extra link exercises the dispatch / execute / conflict
+/// check / finish / commit machinery and nothing else.
+struct SilentChains {
+    roots: u64,
+    chain: u64,
+}
+
+impl SwarmApp for SilentChains {
+    fn name(&self) -> &str {
+        "silent_chains"
+    }
+
+    fn initial_tasks(&self) -> Vec<InitialTask> {
+        (0..self.roots).map(|i| InitialTask::new(i as u16, 0, Hint::value(i), vec![])).collect()
+    }
+
+    fn run_task(&self, fid: u16, ts: u64, _args: &[u64], ctx: &mut TaskCtx<'_>) {
+        ctx.update(0x10_0000 + u64::from(fid) * 64, |v| v.wrapping_add(1));
+        if ts < self.chain {
+            ctx.enqueue(fid, ts + 1, Hint::value(u64::from(fid)), vec![]);
+        }
+    }
+
+    fn num_task_fns(&self) -> usize {
+        self.roots as usize
+    }
+}
+
+/// Allocation count of one complete run over `chain + 1` tasks per root.
+fn allocs_for(roots: u64, chain: u64) -> u64 {
+    measured(|| {
+        let mut engine = Sim::builder()
+            .app(SilentChains { roots, chain })
+            .mapper(Box::new(RoundRobinMapper::new()))
+            .cores(16)
+            .build()
+            .expect("workload builds");
+        engine.run().expect("workload runs");
+    })
+}
+
+/// Allowance for the per-task metadata arrays doubling a few times between
+/// the short and the long run (see module docs). Each doubling reallocates
+/// a fixed handful of arrays, so the allowance is a small constant; the
+/// long runs create 1792–14336 *more tasks* than the short ones, so any
+/// per-task (or per-event) leak exceeds this within the first few steps.
+const DOUBLING_ALLOWANCE: u64 = 48;
+
+#[test]
+fn longer_single_chain_allocates_no_more_than_short_one() {
+    // First run warms up thread-locals and lazy runtime state.
+    allocs_for(1, 64);
+    let short = allocs_for(1, 256);
+    let long = allocs_for(1, 2048);
+    assert!(
+        long >= short && long - short <= DOUBLING_ALLOWANCE,
+        "7x more steady-state engine steps must add at most a few \
+         metadata-array doublings, got {short} -> {long}"
+    );
+}
+
+#[test]
+fn longer_parallel_chains_allocate_no_more_than_short_ones() {
+    allocs_for(8, 64);
+    let short = allocs_for(8, 256);
+    let long = allocs_for(8, 2048);
+    assert!(
+        long >= short && long - short <= DOUBLING_ALLOWANCE,
+        "7x more steady-state engine steps must add at most a few \
+         metadata-array doublings, got {short} -> {long}"
+    );
+}

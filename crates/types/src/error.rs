@@ -25,6 +25,14 @@ pub enum SimError {
     TaskLimitExceeded(u64),
     /// The final memory state did not match the serial reference.
     ValidationFailed(String),
+    /// Tasks remain outstanding but no event can ever make progress again
+    /// (e.g. a task was registered but never made dispatchable). The seed
+    /// engine silently spun on periodic GVT events forever in this
+    /// situation; the engine now detects the quiescent state and reports it.
+    Deadlock {
+        /// Number of tasks still outstanding when the system quiesced.
+        remaining: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +48,9 @@ impl fmt::Display for SimError {
             }
             SimError::ValidationFailed(msg) => {
                 write!(f, "validation against serial reference failed: {msg}")
+            }
+            SimError::Deadlock { remaining } => {
+                write!(f, "simulation deadlocked with {remaining} tasks outstanding")
             }
         }
     }
@@ -59,6 +70,7 @@ mod tests {
             SimError::TimestampRegression { parent: 5, child: 2 },
             SimError::TaskLimitExceeded(10),
             SimError::ValidationFailed("mismatch".into()),
+            SimError::Deadlock { remaining: 4 },
         ];
         for e in errors {
             let s = e.to_string();

@@ -10,7 +10,7 @@ use swarm_repro::apps::kvstore::Zipfian;
 use swarm_repro::hints::TileMap;
 use swarm_repro::mem::{AccessKind, CacheModel, LruSet, SimMemory};
 use swarm_repro::prelude::*;
-use swarm_repro::sim::{InitialTask, LineTable};
+use swarm_repro::sim::{InitialTask, LineTable, TimingWheel, WHEEL_SLOTS};
 use swarm_types::{CacheConfig, CoreId, LineAddr, TaskId, TileId};
 
 /// The seed (PR 1) `HashMap`-based memory-system structures, kept verbatim as
@@ -265,6 +265,34 @@ mod seed_reference {
                 l3.remove(key);
             }
             self.dir.remove(&line);
+        }
+    }
+
+    /// The seed engine's event queue: a min-heap over `(cycle, seq, item)`
+    /// where `seq` is a global schedule counter, so equal-cycle events pop
+    /// in schedule (FIFO) order. `TimingWheel` must reproduce this total
+    /// order exactly.
+    pub struct SeedEventQueue<T> {
+        heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, T)>>,
+        seq: u64,
+    }
+
+    impl<T: Ord + Copy> SeedEventQueue<T> {
+        pub fn new() -> Self {
+            SeedEventQueue { heap: std::collections::BinaryHeap::new(), seq: 0 }
+        }
+
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        pub fn schedule(&mut self, at: u64, item: T) {
+            self.heap.push(std::cmp::Reverse((at, self.seq, item)));
+            self.seq += 1;
+        }
+
+        pub fn pop(&mut self) -> Option<(u64, T)> {
+            self.heap.pop().map(|std::cmp::Reverse((at, _, item))| (at, item))
         }
     }
 }
@@ -553,48 +581,51 @@ proptest! {
         ops in proptest::collection::vec((0u64..48, 0u64..16, 0u8..8), 1..400),
     ) {
         use std::collections::HashMap;
-        type RefAccessors = (Vec<TaskId>, Vec<TaskId>);
+        type Key = (u64, TaskId);
+        type RefAccessors = (Vec<Key>, Vec<Key>);
         let mut table = LineTable::new();
         let mut reference: HashMap<u64, RefAccessors> = HashMap::new();
         for (step, &(line_raw, task_raw, op)) in ops.iter().enumerate() {
             let line = LineAddr(line_raw);
             let task = TaskId(task_raw);
+            // The table stores full commit-order keys; derive a stable ts.
+            let key: Key = (task_raw % 5, task);
             match op {
                 // Register a reader (how register_access_sets inserts).
                 0..=2 => {
                     let acc = table.entry_or_default(line);
-                    if !acc.readers.contains(&task) {
-                        acc.readers.push(task);
+                    if !acc.readers.contains(&key) {
+                        acc.readers.push(key);
                     }
                     let entry = reference.entry(line_raw).or_default();
-                    if !entry.0.contains(&task) {
-                        entry.0.push(task);
+                    if !entry.0.contains(&key) {
+                        entry.0.push(key);
                     }
                 }
                 // Register a writer.
                 3..=5 => {
                     let acc = table.entry_or_default(line);
-                    if !acc.writers.contains(&task) {
-                        acc.writers.push(task);
+                    if !acc.writers.contains(&key) {
+                        acc.writers.push(key);
                     }
                     let entry = reference.entry(line_raw).or_default();
-                    if !entry.1.contains(&task) {
-                        entry.1.push(task);
+                    if !entry.1.contains(&key) {
+                        entry.1.push(key);
                     }
                 }
                 // Unregister the task, dropping emptied lines (how
                 // unregister_access_sets cleans up).
                 6 => {
                     if let Some(acc) = table.get_mut(line) {
-                        acc.readers.retain(|&t| t != task);
-                        acc.writers.retain(|&t| t != task);
+                        acc.readers.retain(|&k| k.1 != task);
+                        acc.writers.retain(|&k| k.1 != task);
                         if acc.is_empty() {
                             table.remove(line);
                         }
                     }
                     if let Some(entry) = reference.get_mut(&line_raw) {
-                        entry.0.retain(|&t| t != task);
-                        entry.1.retain(|&t| t != task);
+                        entry.0.retain(|&k| k.1 != task);
+                        entry.1.retain(|&k| k.1 != task);
                         if entry.0.is_empty() && entry.1.is_empty() {
                             reference.remove(&line_raw);
                         }
@@ -611,6 +642,53 @@ proptest! {
             prop_assert_eq!(got, want, "accessors of line {} diverged at step {}", line_raw, step);
             prop_assert_eq!(table.len(), reference.len(), "len diverged at step {}", step);
         }
+    }
+
+    /// The timing-wheel event queue reproduces the seed `BinaryHeap`'s
+    /// total order exactly — ascending cycle, FIFO within a cycle — under
+    /// randomized schedule/pop interleavings that stress all three of its
+    /// regimes: same-cycle bursts, in-ring scheduling, and far-future
+    /// events that round-trip through the overflow map and wrap the ring.
+    #[test]
+    fn timing_wheel_matches_seed_binary_heap(
+        ops in proptest::collection::vec((0u8..6, 0u64..8 * WHEEL_SLOTS as u64), 1..500),
+    ) {
+        let mut wheel = TimingWheel::new();
+        let mut seed = seed_reference::SeedEventQueue::new();
+        let mut now = 0u64;
+        let mut next_item = 0u32;
+        for (step, &(mode, raw)) in ops.iter().enumerate() {
+            if mode == 0 {
+                let want = seed.pop();
+                if let Some((at, _)) = want {
+                    now = at;
+                }
+                prop_assert_eq!(wheel.pop(), want, "pop diverged at step {}", step);
+                prop_assert_eq!(wheel.len(), seed.len());
+            } else {
+                let at = match mode {
+                    // Same-cycle / near-cycle bursts: FIFO tie-breaking.
+                    1 | 2 => now + raw % 8,
+                    // Within the ring window.
+                    3 | 4 => now + raw % WHEEL_SLOTS as u64,
+                    // Far future: overflow map, then ring wraparound on
+                    // migration.
+                    _ => now + raw,
+                };
+                wheel.schedule(at, next_item);
+                seed.schedule(at, next_item);
+                next_item += 1;
+            }
+        }
+        // Drain both completely: the tail order must agree too.
+        loop {
+            let want = seed.pop();
+            prop_assert_eq!(wheel.pop(), want, "drain diverged");
+            if want.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
     }
 
     /// Hints map deterministically: the same hint always reaches the same
