@@ -17,11 +17,17 @@
 //! | `maxflow`  | ordered   | cache line of vertex (excess word)      |
 //! | `triangle` | unordered | line of the lower-degree endpoint       |
 //! | `kvstore`  | ordered   | key's home line (Zipfian popularity)    |
+//! | `stream`   | ordered   | cache line of vertex (update stream)    |
+//! | `pipeline` | ordered   | item line, then accumulator line        |
+//! | `hostile`  | ordered   | one aliased hint value (adversarial)    |
 //!
-//! The last three rows are not in the paper: they were added because their
-//! hint/locality structure — two-hop push write sets, long-tail hint
-//! popularity, Zipfian-hot keys — stresses the load balancer and directory
-//! in ways the Table I nine do not (see [`BenchmarkId::BEYOND_TABLE1`]).
+//! The `maxflow`/`triangle`/`kvstore` rows are not in the paper: they were
+//! added because their hint/locality structure — two-hop push write sets,
+//! long-tail hint popularity, Zipfian-hot keys — stresses the load balancer
+//! and directory in ways the Table I nine do not (see
+//! [`BenchmarkId::BEYOND_TABLE1`]). The last three rows are the parameterized
+//! synthetic scenario families of the [`synth`] module ([`BenchmarkId::SYNTH`]),
+//! including deliberately hostile generators.
 //!
 //! `bfs`, `sssp`, `astar` and `color` additionally have fine-grain variants
 //! (Section V) that restructure tasks so each reads/writes a single vertex.
@@ -56,6 +62,7 @@ pub mod maxflow;
 pub mod nocsim;
 pub mod silo;
 pub mod sssp;
+pub mod synth;
 pub mod triangle;
 
 pub use graph::Graph;
@@ -89,11 +96,19 @@ pub enum BenchmarkId {
     Triangle,
     /// Zipfian-skewed key-value store (beyond Table I).
     Kvstore,
+    /// Dynamic SSSP over an edge-update stream (synthetic).
+    Stream,
+    /// Mixed-phase produce/transform/reduce pipeline (synthetic).
+    Pipeline,
+    /// Adversarial hint-aliasing generator (synthetic; see
+    /// [`synth::HostileKind`] for the full hostile family).
+    Hostile,
 }
 
 impl BenchmarkId {
-    /// Every benchmark: the Table I nine, then the beyond-Table-I three.
-    pub const ALL: [BenchmarkId; 12] = [
+    /// Every benchmark: the Table I nine, the beyond-Table-I three, then the
+    /// synthetic scenario families.
+    pub const ALL: [BenchmarkId; 15] = [
         BenchmarkId::Bfs,
         BenchmarkId::Sssp,
         BenchmarkId::Astar,
@@ -106,6 +121,9 @@ impl BenchmarkId {
         BenchmarkId::Maxflow,
         BenchmarkId::Triangle,
         BenchmarkId::Kvstore,
+        BenchmarkId::Stream,
+        BenchmarkId::Pipeline,
+        BenchmarkId::Hostile,
     ];
 
     /// The nine benchmarks of the paper's Table I, in the order the paper
@@ -128,6 +146,14 @@ impl BenchmarkId {
     pub const BEYOND_TABLE1: [BenchmarkId; 3] =
         [BenchmarkId::Maxflow, BenchmarkId::Triangle, BenchmarkId::Kvstore];
 
+    /// The synthetic scenario families (see [`synth`]): a streaming app, a
+    /// mixed-phase pipeline, and a deliberately hostile generator. Kept out
+    /// of [`Self::TABLE1`]/[`Self::BEYOND_TABLE1`] so the pinned figure
+    /// outputs are unaffected; select them explicitly (e.g. `swarm table2
+    /// --apps stream,pipeline,hostile`).
+    pub const SYNTH: [BenchmarkId; 3] =
+        [BenchmarkId::Stream, BenchmarkId::Pipeline, BenchmarkId::Hostile];
+
     /// The four benchmarks that have fine-grain restructurings (Section V).
     pub const WITH_FINE_GRAIN: [BenchmarkId; 4] =
         [BenchmarkId::Bfs, BenchmarkId::Sssp, BenchmarkId::Astar, BenchmarkId::Color];
@@ -147,6 +173,9 @@ impl BenchmarkId {
             BenchmarkId::Maxflow => "maxflow",
             BenchmarkId::Triangle => "triangle",
             BenchmarkId::Kvstore => "kvstore",
+            BenchmarkId::Stream => "stream",
+            BenchmarkId::Pipeline => "pipeline",
+            BenchmarkId::Hostile => "hostile",
         }
     }
 
@@ -163,7 +192,12 @@ impl BenchmarkId {
             BenchmarkId::Silo => "Silo (SOSP'13)",
             BenchmarkId::Genome => "STAMP",
             BenchmarkId::Kmeans => "STAMP",
-            BenchmarkId::Maxflow | BenchmarkId::Triangle | BenchmarkId::Kvstore => "this repo",
+            BenchmarkId::Maxflow
+            | BenchmarkId::Triangle
+            | BenchmarkId::Kvstore
+            | BenchmarkId::Stream
+            | BenchmarkId::Pipeline
+            | BenchmarkId::Hostile => "this repo",
         }
     }
 
@@ -183,6 +217,9 @@ impl BenchmarkId {
             BenchmarkId::Maxflow => "layered flow network",
             BenchmarkId::Triangle => "pref.-attachment graph",
             BenchmarkId::Kvstore => "Zipfian op stream",
+            BenchmarkId::Stream => "grid + decrease stream",
+            BenchmarkId::Pipeline => "banded item pipeline",
+            BenchmarkId::Hostile => "aliased-hint task band",
         }
     }
 
@@ -201,6 +238,9 @@ impl BenchmarkId {
             BenchmarkId::Maxflow => "cache line of vertex",
             BenchmarkId::Triangle => "line of lower-degree endpoint",
             BenchmarkId::Kvstore => "key's home line",
+            BenchmarkId::Stream => "cache line of vertex",
+            BenchmarkId::Pipeline => "item line, then accumulator line",
+            BenchmarkId::Hostile => "one aliased hint value",
         }
     }
 
@@ -351,6 +391,19 @@ impl AppSpec {
                 let w = kvstore::KvWorkload::zipfian(48 * f, 250 * f, seed.wrapping_add(11));
                 Box::new(kvstore::Kvstore::new(w))
             }
+            (BenchmarkId::Stream, _) => {
+                let w =
+                    synth::StreamWorkload::generate(8 * f, 6 * f, 30 * f, seed.wrapping_add(12));
+                Box::new(synth::StreamSssp::new(w))
+            }
+            (BenchmarkId::Pipeline, _) => {
+                let w = synth::PipelineWorkload::generate(40 * f, 2 + f, 4, seed.wrapping_add(13));
+                Box::new(synth::Pipeline::new(w))
+            }
+            (BenchmarkId::Hostile, _) => {
+                let w = synth::HostileWorkload::hint_alias(48 * f, 120, seed.wrapping_add(14));
+                Box::new(synth::Hostile::new(w))
+            }
         }
     }
 }
@@ -384,6 +437,7 @@ mod tests {
     fn table1_and_beyond_partition_the_benchmark_set() {
         let mut combined = BenchmarkId::TABLE1.to_vec();
         combined.extend(BenchmarkId::BEYOND_TABLE1);
+        combined.extend(BenchmarkId::SYNTH);
         assert_eq!(combined, BenchmarkId::ALL.to_vec());
     }
 
@@ -420,6 +474,6 @@ mod tests {
         for b in BenchmarkId::WITH_FINE_GRAIN {
             assert!(names.insert(AppSpec::fine(b).name()));
         }
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 19);
     }
 }

@@ -1,0 +1,37 @@
+//! `synth`: parameterized synthetic scenario families.
+//!
+//! Everything in the Table I suite is *friendly*: generators are well mixed,
+//! hints are well distributed, and queues stay comfortable. The three
+//! families here are built to probe the regimes the friendly workloads never
+//! reach, while keeping the suite's contract — every app has a seeded
+//! generator, a serial reference, and a `validate()` the engine checks on
+//! every run:
+//!
+//! * [`stream`] — a streaming/incremental app: dynamic single-source
+//!   shortest paths over an edge-update stream, starting from a converged
+//!   solution and re-relaxing as weight decreases arrive in timestamp
+//!   order.
+//! * [`pipeline`] — a mixed-phase pipeline: embarrassingly parallel
+//!   produce/transform phases feeding a few hot reduction accumulators, so
+//!   one program alternates between hint-friendly and contention-heavy
+//!   phases.
+//! * [`hostile`] — deliberately adversarial generators
+//!   ([`hostile::HostileKind`]): all-tasks-one-hint aliasing that starves
+//!   every tile but one, a pathological priority inversion whose late
+//!   speculative flood is repeatedly aborted by an early writer chain, and
+//!   a spill storm that overflows per-tile task queues to force
+//!   out-of-commit-order execution.
+//!
+//! The families are registered as [`BenchmarkId`](crate::BenchmarkId)s
+//! (`stream`, `pipeline`, `hostile` — see
+//! [`BenchmarkId::SYNTH`](crate::BenchmarkId::SYNTH)), so `swarm table2
+//! --apps stream,pipeline,hostile`-style sweeps and the conformance suite
+//! pick them up like any paper workload.
+
+pub mod hostile;
+pub mod pipeline;
+pub mod stream;
+
+pub use hostile::{Hostile, HostileKind, HostileWorkload};
+pub use pipeline::{Pipeline, PipelineWorkload};
+pub use stream::{StreamSssp, StreamWorkload};

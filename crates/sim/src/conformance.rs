@@ -60,11 +60,21 @@ pub struct ConformanceOptions {
     /// where equal-timestamp ties decide whether a redundant relaxation
     /// spawns and commits.
     pub stable_commit_count: bool,
+    /// Builds the machine configuration for a given core count. Defaults to
+    /// [`SystemConfig::with_cores`]; override it to run the battery under
+    /// queue pressure (tiny task/commit queues, aggressive spill thresholds)
+    /// — every invariant above must hold there too.
+    pub config: fn(u32) -> SystemConfig,
 }
 
 impl Default for ConformanceOptions {
     fn default() -> Self {
-        ConformanceOptions { core_counts: vec![1, 16], repeats: 2, stable_commit_count: false }
+        ConformanceOptions {
+            core_counts: vec![1, 16],
+            repeats: 2,
+            stable_commit_count: false,
+            config: SystemConfig::with_cores,
+        }
     }
 }
 
@@ -111,11 +121,11 @@ pub fn check_app(
     let mut runs = 0;
     for mapper in mappers {
         for &cores in &opts.core_counts {
-            let (first_stats, first_mem) = run_once(make_app, mapper, cores)?;
+            let (first_stats, first_mem) = run_once(make_app, mapper, cores, opts.config)?;
             runs += 1;
             let at = || format!("{} under {} at {cores} cores", first_stats.app, mapper.name);
             for repeat in 1..opts.repeats {
-                let (stats, mem) = run_once(make_app, mapper, cores)?;
+                let (stats, mem) = run_once(make_app, mapper, cores, opts.config)?;
                 runs += 1;
                 if stats != first_stats {
                     return Err(format!("{}: repeat {repeat} produced different statistics", at()));
@@ -158,8 +168,9 @@ fn run_once(
     make_app: &dyn Fn() -> Box<dyn SwarmApp>,
     mapper: &MapperSpec<'_>,
     cores: u32,
+    config: fn(u32) -> SystemConfig,
 ) -> Result<(RunStats, Vec<(u64, u64)>), String> {
-    let cfg = SystemConfig::with_cores(cores);
+    let cfg = config(cores);
     let app = make_app();
     let name = app.name().to_string();
     let mapper_impl = (mapper.build)(&cfg);

@@ -141,6 +141,31 @@ impl Engine {
         self
     }
 
+    /// Fault injection for tests: plant a task that is registered as
+    /// remaining work but has no task-queue entry and no pending wake — the
+    /// "lost wake" fault class the deadlock detector exists for. A healthy
+    /// engine cannot reach this state through the public API (every enqueue
+    /// wakes its tile), so [`Engine::run`] on a faulted engine must
+    /// terminate with [`SimError::Deadlock`] once all healthy work drains,
+    /// counting the planted task in `remaining`. Call before [`Engine::run`].
+    pub fn inject_lost_task(&mut self, ts: u64) -> &mut Self {
+        let desc = TaskDescriptor {
+            fid: 0,
+            ts,
+            hint: Hint::None,
+            hint_hash: None,
+            bucket: None,
+            args: vec![],
+            parent: None,
+            tile: TileId(0),
+        };
+        let lost = self.state.add_task(desc);
+        let key = self.state.tasks.key(lost);
+        self.state.tiles[0].idle.remove(&key);
+        self.state.wake_tiles.clear();
+        self
+    }
+
     /// Read-only access to the simulation state (for tests and tools).
     pub fn state(&self) -> &SimState {
         &self.state
@@ -670,20 +695,7 @@ mod tests {
         // error naming the outstanding work.
         let mut engine =
             Engine::new(SystemConfig::single_core(), Box::new(OneShot), Box::new(PinnedMapper));
-        let desc = TaskDescriptor {
-            fid: 0,
-            ts: 99,
-            hint: Hint::None,
-            hint_hash: None,
-            bucket: None,
-            args: vec![],
-            parent: None,
-            tile: TileId(0),
-        };
-        let lost = engine.state.add_task(desc);
-        let key = engine.state.tasks.key(lost);
-        engine.state.tiles[0].idle.remove(&key);
-        engine.state.wake_tiles.clear();
+        engine.inject_lost_task(99);
 
         let err = engine.run().expect_err("a lost task must be detected, not spun on");
         assert_eq!(err, SimError::Deadlock { remaining: 1 });

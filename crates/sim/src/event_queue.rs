@@ -68,8 +68,17 @@ pub struct TimingWheel<T: Copy> {
     /// Events at cycles `>= cursor + WHEEL_SLOTS`, in schedule order per
     /// cycle; migrated into the ring as the cursor window reaches them.
     overflow: BTreeMap<u64, Vec<T>>,
+    /// Spent overflow buffers, recycled by [`TimingWheel::schedule`] so a
+    /// steady drip of far-future events (the load-balancer epoch
+    /// rescheduling itself forever) does not allocate one `Vec` per event.
+    /// Bounded: the overflow population is tiny, so a few buffers suffice.
+    free: Vec<Vec<T>>,
     len: usize,
 }
+
+/// Retained spent-overflow buffers; more simultaneous overflow cycles than
+/// this simply fall back to allocating (and the excess buffer is dropped).
+const FREE_POOL: usize = 32;
 
 impl<T: Copy> TimingWheel<T> {
     /// An empty queue with its cursor at cycle 0.
@@ -91,6 +100,7 @@ impl<T: Copy> TimingWheel<T> {
             occupied: [0; WORDS],
             cursor: 0,
             overflow: BTreeMap::new(),
+            free: Vec::new(),
             len: 0,
         }
     }
@@ -122,7 +132,15 @@ impl<T: Copy> TimingWheel<T> {
             self.slots[idx].items.push(item);
             self.occupied[idx / 64] |= 1 << (idx % 64);
         } else {
-            self.overflow.entry(at).or_default().push(item);
+            use std::collections::btree_map::Entry;
+            match self.overflow.entry(at) {
+                Entry::Occupied(e) => e.into_mut().push(item),
+                Entry::Vacant(v) => {
+                    let mut buf = self.free.pop().unwrap_or_default();
+                    buf.push(item);
+                    v.insert(buf);
+                }
+            }
         }
         self.len += 1;
     }
@@ -184,16 +202,25 @@ impl<T: Copy> TimingWheel<T> {
             if at >= horizon {
                 break;
             }
-            let items = self.overflow.remove(&at).expect("first key present");
+            let mut items = self.overflow.remove(&at).expect("first key present");
             let idx = (at & SLOT_MASK) as usize;
             let slot = &mut self.slots[idx];
             debug_assert!(slot.items.is_empty(), "migration target slot must be empty");
             if slot.items.capacity() >= items.len() {
-                // Keep the slot's retained capacity; the overflow Vec is
-                // short-lived either way.
+                // Keep the slot's retained capacity and recycle the spent
+                // overflow buffer for the next far-future schedule.
                 slot.items.extend_from_slice(&items);
+                items.clear();
+                if self.free.len() < FREE_POOL {
+                    self.free.push(items);
+                }
             } else {
-                slot.items = items;
+                // The slot takes ownership of the bigger buffer; its old
+                // (empty) one goes back to the pool instead of the floor.
+                let old = std::mem::replace(&mut slot.items, items);
+                if self.free.len() < FREE_POOL {
+                    self.free.push(old);
+                }
             }
             slot.head = 0;
             self.occupied[idx / 64] |= 1 << (idx % 64);

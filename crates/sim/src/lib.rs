@@ -63,6 +63,7 @@ pub mod builder;
 pub mod conformance;
 pub mod engine;
 pub mod event_queue;
+pub mod fuzz;
 pub mod key_list;
 pub mod line_table;
 pub mod mapper;

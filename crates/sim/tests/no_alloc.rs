@@ -18,8 +18,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use swarm_sim::{InitialTask, RoundRobinMapper, Sim, SwarmApp, TaskCtx};
-use swarm_types::Hint;
+use swarm_sim::{InitialTask, RoundRobinMapper, RunStats, Sim, SwarmApp, TaskCtx};
+use swarm_types::{Hint, SystemConfig};
 
 struct CountingAllocator;
 
@@ -133,4 +133,133 @@ fn longer_parallel_chains_allocate_no_more_than_short_ones() {
         "7x more steady-state engine steps must add at most a few \
          metadata-array doublings, got {short} -> {long}"
     );
+}
+
+/// The hostile counterpart to [`SilentChains`]: a driver chain whose every
+/// link re-injects a full spill storm — a `WAVE`-wide burst of wave tasks
+/// (wider than the whole starved task queue, so most of the burst spills),
+/// each spawning `LEAVES` argument-free children into a later band of the
+/// same step. Idle later-band children dispatch while earlier spilled wave
+/// tasks wait for queue headroom, and because every task updates the same
+/// shared counter each out-of-commit-order execution surfaces as a rollback
+/// when the earlier task is finally unspilled (the mechanism
+/// `tests/fuzz.rs` at the workspace root pins deterministically). Each step
+/// drains before the next driver fires, so the steady state is *repeated*
+/// spill/refill/abort churn with a bounded in-flight population: the
+/// zero-allocation guarantee must survive the recovery machinery (spill
+/// buffers, undo-log replay, abort cascades), not just the happy path the
+/// chains above pin.
+struct ChurnChains {
+    chain: u64,
+}
+
+const CHURN_SHARED: u64 = 0x20_0000;
+const WAVE: u64 = 16;
+const LEAVES: u64 = 4;
+const STEP: u64 = 256;
+const CHILD_OFF: u64 = 64;
+
+impl SwarmApp for ChurnChains {
+    fn name(&self) -> &str {
+        "churn_chains"
+    }
+
+    fn initial_tasks(&self) -> Vec<InitialTask> {
+        vec![InitialTask::new(0, 0, Hint::value(0), vec![])]
+    }
+
+    fn run_task(&self, fid: u16, ts: u64, _args: &[u64], ctx: &mut TaskCtx<'_>) {
+        ctx.update(CHURN_SHARED, |v| v.wrapping_add(1));
+        match fid {
+            0 => {
+                // Driver for step `k`: burst the wave, then chain.
+                let k = ts / STEP;
+                for w in 0..WAVE {
+                    ctx.enqueue(1, ts + 1 + w, Hint::value(w), vec![]);
+                }
+                if k + 1 < self.chain {
+                    ctx.enqueue(0, ts + STEP, Hint::value(0), vec![]);
+                }
+            }
+            _ => {
+                // Wave task `w` of its step: children into the step's
+                // later band (still before the next driver). Leaves
+                // (fid 2) only bump the shared counter.
+                if fid == 1 {
+                    let base = ts - (ts % STEP);
+                    let w = ts - base - 1;
+                    for c in 0..LEAVES {
+                        ctx.enqueue(2, base + CHILD_OFF + w * LEAVES + c, Hint::value(c), vec![]);
+                    }
+                }
+            }
+        }
+    }
+
+    fn num_task_fns(&self) -> usize {
+        3
+    }
+}
+
+/// A single core with a 10-entry task queue and a one-task spill coalescer:
+/// each driver step injects `LEAVES + 1` tasks, so the queue overflows every
+/// step and (with `spill_batch = 1`) stays pinned at capacity, which blocks
+/// refills and forces out-of-commit-order execution (see `tests/fuzz.rs` at
+/// the workspace root for the mechanism).
+fn churn_run(chain: u64) -> (u64, RunStats) {
+    let mut stats = None;
+    let allocs = measured(|| {
+        let mut cfg = SystemConfig::single_core();
+        cfg.queues.task_queue_per_core = 10;
+        cfg.queues.commit_queue_per_core = 4;
+        cfg.queues.spill_threshold_pct = 60;
+        cfg.queues.spill_batch = 1;
+        let mut engine = Sim::builder()
+            .config(cfg)
+            .app(ChurnChains { chain })
+            .mapper(Box::new(RoundRobinMapper::new()))
+            .build()
+            .expect("churn workload builds");
+        stats = Some(engine.run().expect("churn workload runs"));
+    });
+    (allocs, stats.expect("run completed"))
+}
+
+#[test]
+fn hostile_spill_and_abort_churn_allocates_no_more_than_a_short_run() {
+    churn_run(16);
+    let (short, short_stats) = churn_run(64);
+    let (long, long_stats) = churn_run(512);
+    // The churn has to be real in both runs for the differential to mean
+    // anything: sustained spills, and rollbacks that scale with run length.
+    assert!(
+        short_stats.tasks_spilled > 0 && short_stats.tasks_aborted > 0,
+        "the short run must already spill ({}) and abort ({})",
+        short_stats.tasks_spilled,
+        short_stats.tasks_aborted
+    );
+    assert!(
+        long_stats.tasks_spilled > short_stats.tasks_spilled
+            && long_stats.tasks_aborted > short_stats.tasks_aborted,
+        "the long run must churn more (spilled {} -> {}, aborted {} -> {})",
+        short_stats.tasks_spilled,
+        long_stats.tasks_spilled,
+        short_stats.tasks_aborted,
+        long_stats.tasks_aborted
+    );
+    assert!(
+        long >= short && long - short <= DOUBLING_ALLOWANCE,
+        "8x more spill/abort churn must add at most a few metadata-array \
+         doublings, got {short} -> {long}"
+    );
+}
+
+/// Sanity companion for the churn differential: the storm stays a *legal*
+/// program (the engine's result, the shared counter, must equal the total
+/// task count despite every rollback and replay).
+#[test]
+fn churn_storm_still_commits_every_task_exactly_once() {
+    let chain = 48u64;
+    let (_, stats) = churn_run(chain);
+    assert_eq!(stats.tasks_committed, chain * (1 + WAVE + WAVE * LEAVES));
 }

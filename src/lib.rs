@@ -13,9 +13,10 @@
 //! * [`hints`] — the paper's contribution: hint-based spatial task mapping,
 //!   same-hint serialization, the data-centric load balancer, and the
 //!   access-classification profiler;
-//! * [`apps`] — the nine benchmarks of Table I plus three beyond-Table-I
-//!   workloads (maxflow, triangle, kvstore), with seeded workload
-//!   generators and serial references.
+//! * [`apps`] — the nine benchmarks of Table I, three beyond-Table-I
+//!   workloads (maxflow, triangle, kvstore), and three synthetic scenario
+//!   families (stream, pipeline, hostile), with seeded workload generators
+//!   and serial references.
 //!
 //! # Quickstart
 //!
@@ -59,7 +60,7 @@ mod tests {
         let cfg = SystemConfig::small();
         let mapper = Scheduler::Random.build(&cfg);
         assert_eq!(mapper.name(), "Random");
-        assert_eq!(BenchmarkId::ALL.len(), 12);
+        assert_eq!(BenchmarkId::ALL.len(), 15);
         assert_eq!(BenchmarkId::TABLE1.len(), 9);
     }
 }

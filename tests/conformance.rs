@@ -1,7 +1,7 @@
 //! The SwarmApp conformance suite: every benchmark — the Table I nine, the
-//! three beyond-Table-I workloads, and the four fine-grain variants — runs
-//! through the generic test-kit in `swarm_sim::conformance`, which asserts
-//! per app × scheduler × core count:
+//! three beyond-Table-I workloads, the three synthetic scenario families,
+//! and the four fine-grain variants — runs through the generic test-kit in
+//! `swarm_sim::conformance`, which asserts per app × scheduler × core count:
 //!
 //! * the run completes and `validate()` accepts the final memory against
 //!   the app's serial reference;
@@ -45,7 +45,7 @@ fn check(spec: AppSpec, stable_commit_count: bool) {
         .collect();
     let mappers: Vec<MapperSpec<'_>> =
         builders.iter().map(|(name, build)| MapperSpec { name, build: build.as_ref() }).collect();
-    let opts = ConformanceOptions { core_counts: vec![1, 16], repeats: 2, stable_commit_count };
+    let opts = ConformanceOptions { stable_commit_count, ..ConformanceOptions::default() };
     let report = check_app(&|| spec.build(InputScale::Tiny, SEED), &mappers, &opts)
         .unwrap_or_else(|e| panic!("{} failed conformance: {e}", spec.name()));
     assert_eq!(report.combos.len(), Scheduler::ALL.len() * opts.core_counts.len());
@@ -54,10 +54,12 @@ fn check(spec: AppSpec, stable_commit_count: bool) {
 
 /// One row per app: `name => (benchmark, fine_grain, stable_commit_count)`.
 ///
-/// `stable_commit_count` is false only for coarse `sssp` and `astar`: both
-/// spawn several tasks at *equal* timestamps for the same vertex, and which
-/// of the ties commits first (and therefore whether the later ones re-spawn)
-/// legitimately depends on the schedule; every other app has a
+/// `stable_commit_count` is false only for coarse `sssp` and `astar` —
+/// both spawn several tasks at *equal* timestamps for the same vertex, and
+/// which of the ties commits first (and therefore whether the later ones
+/// re-spawn) legitimately depends on the schedule — and for the synthetic
+/// `stream` app, whose relaxation wavefront re-spawns depend the same way on
+/// how equal-timestamp relaxations serialize; every other app has a
 /// schedule-independent committed task structure.
 macro_rules! conformance_suite {
     ($($test:ident => ($bench:ident, $fine:expr, $stable:expr)),* $(,)?) => {
@@ -88,6 +90,9 @@ conformance_suite! {
     maxflow_conforms => (Maxflow, false, true),
     triangle_conforms => (Triangle, false, true),
     kvstore_conforms => (Kvstore, false, true),
+    stream_conforms => (Stream, false, false),
+    pipeline_conforms => (Pipeline, false, true),
+    hostile_conforms => (Hostile, false, true),
     bfs_fine_conforms => (Bfs, true, true),
     sssp_fine_conforms => (Sssp, true, true),
     astar_fine_conforms => (Astar, true, true),

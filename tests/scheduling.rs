@@ -128,6 +128,36 @@ fn stealing_keeps_cores_fed_on_an_imbalanced_spawn_tree() {
 }
 
 #[test]
+fn hostile_hint_aliasing_degrades_hints_far_below_stealing() {
+    // The adversarial generator the synthetic `hostile` family registers as
+    // a benchmark: every task carries the *same* hint over disjoint data.
+    // Spatial hints collapse all of it onto one tile and same-hint
+    // serialization runs it one task at a time, while Stealing spreads the
+    // (conflict-free) band across all 16 cores — the worst case of the
+    // paper's hint trade-off, locked in as a shape assertion like the
+    // maxflow one below.
+    use swarm_repro::apps::synth::{Hostile, HostileWorkload};
+    let run_with = |scheduler: Scheduler| {
+        let mut engine = Sim::builder()
+            .cores(16)
+            .app(Hostile::new(HostileWorkload::hint_alias(96, 150, 17)))
+            .scheduler(scheduler)
+            .build()
+            .expect("a valid simulation description");
+        engine.run().expect("hostile aliasing must still validate")
+    };
+    let stealing = run_with(Scheduler::Stealing);
+    let hints = run_with(Scheduler::Hints);
+    assert_eq!(stealing.tasks_aborted, 0, "the aliased tasks touch disjoint lines");
+    assert!(
+        stealing.runtime_cycles * 2 < hints.runtime_cycles,
+        "stealing ({}) should finish far ahead of one-tile serialized hints ({})",
+        stealing.runtime_cycles,
+        hints.runtime_cycles
+    );
+}
+
+#[test]
 fn load_balancer_corrects_zipfian_key_skew_on_kvstore() {
     // The kvstore workload exists precisely for this regime: Zipfian key
     // popularity concentrates hint load on a few tiles, so LBHints must

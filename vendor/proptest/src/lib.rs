@@ -1,13 +1,36 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset the workspace's property tests use: the
-//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
-//! strategies, [`collection::vec`], [`any`], [`ProptestConfig`], and the
-//! [`proptest!`] / `prop_assert*` macros.
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range, tuple and
+//! one-of strategies, [`collection::vec`], [`any`], [`ProptestConfig`], and
+//! the [`proptest!`] / `prop_assert*` / [`prop_oneof!`] macros — plus
+//! *shrinking*, which the first shim generation lacked.
 //!
-//! Unlike real proptest there is no shrinking and no persistence: each test
-//! runs `cases` deterministic pseudo-random inputs (seeded from the test
-//! name), and a failing case panics with the values bound in scope.
+//! # How shrinking works here
+//!
+//! Real proptest shrinks through per-strategy value trees. This shim gets
+//! the same observable behaviour with a much smaller mechanism, the one
+//! Hypothesis pioneered: every strategy draws its randomness through a
+//! [`TestRng`] that *records* the stream of 64-bit draws, and a recorded
+//! stream can be *replayed* (with draws past the end reading as zero).
+//! Because generation is a deterministic function of the draw stream,
+//! shrinking the stream — zeroing blocks, halving values, truncating —
+//! shrinks the generated value, and it composes through `prop_map`,
+//! `prop_flat_map` and recursive generators for free: no strategy has to
+//! implement anything to become shrinkable. Draws shrink toward zero, and
+//! every strategy maps zero draws to its minimal value (range start, empty
+//! or shortest vector, first `prop_oneof!` alternative).
+//!
+//! On failure the [`proptest!`] runner shrinks the stream with
+//! [`shrink_stream`] (bounded by [`ProptestConfig::max_shrink_iters`]),
+//! reports the minimal failing inputs, and prints the minimal replay stream
+//! so the case can be pinned as a permanent regression test via
+//! [`TestRng::replay`].
+//!
+//! Unlike real proptest there is still no failure-persistence file: each
+//! test runs `cases` deterministic pseudo-random inputs seeded from the
+//! test name, so every run (and every platform) explores — and shrinks —
+//! the same inputs.
 //!
 //! ```
 //! use proptest::prelude::*;
@@ -27,45 +50,116 @@
 
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 
-/// Runner configuration; only `cases` is honored.
+/// Runner configuration; `cases` and `max_shrink_iters` are honored.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
+    /// Number of random cases each property runs.
     pub cases: u32,
+    /// Budget of candidate replays the shrinker may attempt on a failure.
+    pub max_shrink_iters: u32,
 }
 
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig { cases, ..ProptestConfig::default() }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        // Real proptest defaults to 256; keep the offline runner CI-friendly.
-        ProptestConfig { cases: 64 }
+        // Real proptest defaults to 256 cases; keep the offline runner
+        // CI-friendly.
+        ProptestConfig { cases: 64, max_shrink_iters: 512 }
+    }
+}
+
+/// The recording/replaying randomness source every [`Strategy`] draws from.
+///
+/// In recording mode it is a seeded SplitMix64 stream whose 64-bit draws are
+/// logged per case; in replay mode it reads a fixed stream (zeros once the
+/// stream is exhausted), which is what makes stream-level shrinking and
+/// corpus replay possible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+    record: Vec<u64>,
+    replay: Option<Vec<u64>>,
+    cursor: usize,
+}
+
+impl TestRng {
+    /// A fresh recording RNG.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+            record: Vec::new(),
+            replay: None,
+            cursor: 0,
+        }
+    }
+
+    /// An RNG that replays `stream` verbatim, then yields zeros. Feeding a
+    /// previously recorded stream regenerates the identical value; feeding a
+    /// shrunk stream generates a smaller one.
+    pub fn replay(stream: Vec<u64>) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(0),
+            record: Vec::new(),
+            replay: Some(stream),
+            cursor: 0,
+        }
+    }
+
+    /// Forget the draws recorded so far (the runner calls this per case).
+    pub fn begin_case(&mut self) {
+        self.record.clear();
+        self.cursor = 0;
+    }
+
+    /// The draws made since the last [`begin_case`](Self::begin_case).
+    pub fn take_record(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.record)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        let v = match &self.replay {
+            Some(stream) => stream.get(self.cursor).copied().unwrap_or(0),
+            None => self.inner.next_u64(),
+        };
+        self.cursor += 1;
+        self.record.push(v);
+        v
     }
 }
 
 /// Deterministic per-test RNG, seeded from the test name so every run (and
 /// every platform) explores the same inputs.
-pub fn test_rng(test_name: &str) -> SmallRng {
-    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
-    for byte in test_name.bytes() {
+pub fn test_rng(test_name: &str) -> TestRng {
+    TestRng::from_seed(fnv1a(test_name))
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
         seed ^= byte as u64;
         seed = seed.wrapping_mul(0x100_0000_01b3);
     }
-    SmallRng::seed_from_u64(seed)
+    seed
 }
 
 /// A generator of test inputs.
 pub trait Strategy {
     type Value;
 
-    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -97,7 +191,7 @@ pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
 
 impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
-    fn generate(&self, rng: &mut SmallRng) -> T {
+    fn generate(&self, rng: &mut TestRng) -> T {
         self.0.generate(rng)
     }
 }
@@ -109,7 +203,7 @@ pub struct Map<S, F> {
 
 impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     type Value = U;
-    fn generate(&self, rng: &mut SmallRng) -> U {
+    fn generate(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.generate(rng))
     }
 }
@@ -121,7 +215,7 @@ pub struct FlatMap<S, F> {
 
 impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
     type Value = S2::Value;
-    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
@@ -131,8 +225,23 @@ pub struct Just<T: Clone>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
-    fn generate(&self, _rng: &mut SmallRng) -> T {
+    fn generate(&self, _rng: &mut TestRng) -> T {
         self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives of one value type — the engine
+/// behind [`prop_oneof!`]. Zero draws pick the first alternative, so list
+/// the simplest case first to get the most useful shrinking.
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one alternative");
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].generate(rng)
     }
 }
 
@@ -140,14 +249,14 @@ macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
-            fn generate(&self, rng: &mut SmallRng) -> $t {
+            fn generate(&self, rng: &mut TestRng) -> $t {
                 use rand::Rng;
                 rng.gen_range(self.clone())
             }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
-            fn generate(&self, rng: &mut SmallRng) -> $t {
+            fn generate(&self, rng: &mut TestRng) -> $t {
                 use rand::Rng;
                 rng.gen_range(self.clone())
             }
@@ -161,7 +270,7 @@ macro_rules! impl_tuple_strategy {
     ($(($($s:ident / $idx:tt),+))*) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
             type Value = ($($s::Value,)+);
-            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
             }
         }
@@ -172,6 +281,8 @@ impl_tuple_strategy! {
     (A/0, B/1)
     (A/0, B/1, C/2)
     (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
 }
 
 /// Strategy for "any value of `T`" — full-width uniform bits.
@@ -201,7 +312,7 @@ impl ArbitraryBits for bool {
 
 impl<T: ArbitraryBits> Strategy for AnyStrategy<T> {
     type Value = T;
-    fn generate(&self, rng: &mut SmallRng) -> T {
+    fn generate(&self, rng: &mut TestRng) -> T {
         T::from_bits(rng.next_u64())
     }
 }
@@ -211,7 +322,7 @@ pub fn any<T: ArbitraryBits>() -> AnyStrategy<T> {
 }
 
 pub mod collection {
-    use super::{SmallRng, Strategy};
+    use super::{Strategy, TestRng};
     use std::ops::Range;
 
     /// Accepted vector-length specifications: an exact length or a range.
@@ -247,7 +358,7 @@ pub mod collection {
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
-        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             use rand::Rng;
             let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
             (0..len).map(|_| self.element.generate(rng)).collect()
@@ -255,16 +366,139 @@ pub mod collection {
     }
 }
 
+// ----------------------------------------------------------------------
+// Shrinking
+// ----------------------------------------------------------------------
+
+/// Shrink a recorded draw stream toward the smallest stream whose replay
+/// still fails, delta-debugging style: zero suffixes, zero aligned blocks of
+/// decreasing size, then halve / decrement individual draws, repeating until
+/// a fixed point or until `max_iters` candidate replays were spent.
+///
+/// `still_fails` replays one candidate and reports whether the property
+/// still fails on it; it runs with the panic hook silenced (process-wide)
+/// so hundreds of expected panics don't drown the report.
+pub fn shrink_stream(
+    initial: &[u64],
+    max_iters: u32,
+    mut still_fails: impl FnMut(&[u64]) -> bool,
+) -> Vec<u64> {
+    // Serialize hook swapping across concurrently failing proptests; a
+    // panicking non-proptest thread during this window still fails its test,
+    // it just loses its message.
+    static HOOK: Mutex<()> = Mutex::new(());
+    let guard = HOOK.lock().unwrap_or_else(|e| e.into_inner());
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut best: Vec<u64> = initial.to_vec();
+    trim_zeros(&mut best);
+    let mut iters = 0u32;
+    let mut try_candidate = |cand: &mut Vec<u64>, best: &mut Vec<u64>, iters: &mut u32| -> bool {
+        trim_zeros(cand);
+        if *iters >= max_iters || cand == best {
+            return false;
+        }
+        *iters += 1;
+        if still_fails(cand) {
+            std::mem::swap(best, cand);
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut improved = false;
+        // Pass 1: drop whole suffixes — half the stream, else one draw.
+        while !best.is_empty() {
+            let mut cand = best[..best.len() / 2].to_vec();
+            if try_candidate(&mut cand, &mut best, &mut iters) {
+                improved = true;
+                continue;
+            }
+            let mut cand = best[..best.len() - 1].to_vec();
+            if try_candidate(&mut cand, &mut best, &mut iters) {
+                improved = true;
+                continue;
+            }
+            break;
+        }
+        // Pass 2: zero aligned blocks of decreasing size.
+        let mut block = best.len().max(1);
+        while block >= 1 {
+            let mut start = 0;
+            while start < best.len() {
+                let end = (start + block).min(best.len());
+                if best[start..end].iter().any(|&v| v != 0) {
+                    let mut cand = best.clone();
+                    cand[start..end].iter_mut().for_each(|v| *v = 0);
+                    if try_candidate(&mut cand, &mut best, &mut iters) {
+                        improved = true;
+                        continue; // same start: the stream shifted under us
+                    }
+                }
+                start += block;
+            }
+            if block == 1 {
+                break;
+            }
+            block /= 2;
+        }
+        // Pass 3: shrink individual draws (halve, then decrement).
+        for i in 0..best.len() {
+            while best.get(i).is_some_and(|&v| v != 0) {
+                let v = best[i];
+                let mut cand = best.clone();
+                cand[i] = v / 2;
+                if try_candidate(&mut cand, &mut best, &mut iters) {
+                    improved = true;
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand[i] = v - 1;
+                if try_candidate(&mut cand, &mut best, &mut iters) {
+                    improved = true;
+                    continue;
+                }
+                break;
+            }
+        }
+        if !improved || iters >= max_iters {
+            break;
+        }
+    }
+
+    std::panic::set_hook(previous);
+    drop(guard);
+    best
+}
+
+/// Trailing zeros replay identically to an exhausted stream; canonicalize.
+fn trim_zeros(stream: &mut Vec<u64>) {
+    while stream.last() == Some(&0) {
+        stream.pop();
+    }
+}
+
+/// Replay one candidate stream against a generation + property closure,
+/// reporting whether it panicked. Used by the [`proptest!`] runner.
+pub fn replay_fails(stream: &[u64], mut case: impl FnMut(&mut TestRng)) -> bool {
+    let mut rng = TestRng::replay(stream.to_vec());
+    catch_unwind(AssertUnwindSafe(move || case(&mut rng))).is_err()
+}
+
 pub mod prelude {
     pub use crate::collection::SizeRange;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just,
-        ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestRng, Union,
     };
 }
 
 /// The test-suite entry point: declares each `fn name(arg in strategy, ..)`
-/// as a `#[test]` running `cases` generated inputs.
+/// as a `#[test]` running `cases` generated inputs, shrinking any failure
+/// to a minimal counterexample before reporting it.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -287,22 +521,54 @@ macro_rules! __proptest_impl {
             let config: $crate::ProptestConfig = $cfg;
             let mut rng = $crate::test_rng(stringify!($name));
             for case in 0..config.cases {
+                $crate::TestRng::begin_case(&mut rng);
                 $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
                 let run = || -> () { $body };
                 let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
                 if let Err(panic) = outcome {
+                    let stream = $crate::TestRng::take_record(&mut rng);
+                    let minimal =
+                        $crate::shrink_stream(&stream, config.max_shrink_iters, |cand| {
+                            $crate::replay_fails(cand, |replay| {
+                                $(let $arg = $crate::Strategy::generate(&($strategy), replay);)*
+                                let _ = ($(&$arg,)*);
+                                $body
+                            })
+                        });
+                    let mut replay = $crate::TestRng::replay(minimal.clone());
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut replay);)*
                     eprintln!(
-                        "proptest case {}/{} of `{}` failed with inputs:",
+                        "proptest case {}/{} of `{}` failed; minimal failing inputs after \
+                         shrinking:",
                         case + 1,
                         config.cases,
                         stringify!($name),
                     );
                     $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)*
-                    ::std::panic::resume_unwind(panic);
+                    eprintln!(
+                        "  replay stream (pin via proptest::TestRng::replay): {minimal:?}"
+                    );
+                    let rerun = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || -> () { $body },
+                    ));
+                    match rerun {
+                        Err(shrunk_panic) => ::std::panic::resume_unwind(shrunk_panic),
+                        // The shrunk case no longer fails outside the hook
+                        // guard (flaky property); fall back to the original.
+                        Ok(()) => ::std::panic::resume_unwind(panic),
+                    }
                 }
             }
         }
     )*};
+}
+
+/// `prop_oneof!`: uniform choice among alternatives, as a [`Union`].
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
 }
 
 /// `prop_assert!`: assert inside a proptest case.
@@ -347,6 +613,13 @@ mod tests {
         ) {
             prop_assert_eq!(pair.0, pair.1.len());
         }
+
+        #[test]
+        fn oneof_picks_only_listed_alternatives(
+            x in prop_oneof![Just(1u64), 10u64..20, Just(99u64)],
+        ) {
+            prop_assert!(x == 1 || (10..20).contains(&x) || x == 99);
+        }
     }
 
     #[test]
@@ -357,6 +630,121 @@ mod tests {
         let mut b = crate::test_rng("replay");
         for _ in 0..50 {
             assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn recorded_stream_replays_to_the_same_value() {
+        use crate::{Strategy, TestRng};
+        let strat = crate::collection::vec(0u64..1000, 0..20);
+        let mut rng = crate::test_rng("record-replay");
+        for _ in 0..20 {
+            rng.begin_case();
+            let value = strat.generate(&mut rng);
+            let stream = rng.take_record();
+            let mut replayed = TestRng::replay(stream);
+            assert_eq!(strat.generate(&mut replayed), value);
+        }
+    }
+
+    #[test]
+    fn zero_stream_generates_minimal_values() {
+        use crate::{Strategy, TestRng};
+        let mut rng = TestRng::replay(vec![]);
+        assert_eq!((5u64..100).generate(&mut rng), 5);
+        assert_eq!(crate::collection::vec(0u64..10, 2..9).generate(&mut rng), vec![0, 0]);
+        let first_alternative = prop_oneof![Just(7u8), Just(42u8)].generate(&mut rng);
+        assert_eq!(first_alternative, 7);
+    }
+
+    #[test]
+    fn shrinking_finds_a_minimal_vector() {
+        use crate::Strategy;
+        // Property: "no vector contains an element >= 500". Failures shrink
+        // to the canonical minimal counterexample: one element, value 500.
+        let strat = crate::collection::vec(0u64..1000, 0..20);
+        let mut rng = crate::test_rng("shrink-minimal-vec");
+        let fails = |v: &Vec<u64>| v.iter().any(|&x| x >= 500);
+        loop {
+            rng.begin_case();
+            let v = strat.generate(&mut rng);
+            if !fails(&v) {
+                continue;
+            }
+            let stream = rng.take_record();
+            let minimal = crate::shrink_stream(&stream, 2000, |cand| {
+                crate::replay_fails(cand, |replay| {
+                    let v = strat.generate(replay);
+                    assert!(!fails(&v), "still failing");
+                })
+            });
+            let mut replay = crate::TestRng::replay(minimal);
+            let v = strat.generate(&mut replay);
+            assert_eq!(v, vec![500], "shrinking should reach the boundary case");
+            break;
+        }
+    }
+
+    #[test]
+    fn shrinking_composes_through_recursive_generators() {
+        use crate::{BoxedStrategy, Just, Strategy};
+        // A recursive tree generator built from prop_flat_map: depth-bounded
+        // n-ary trees counted by leaves. Nothing implements shrinking
+        // explicitly, yet the stream shrinker minimizes the whole structure.
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u64),
+            Node(Vec<Tree>),
+        }
+        impl Tree {
+            fn sum(&self) -> u64 {
+                match self {
+                    Tree::Leaf(v) => *v,
+                    Tree::Node(children) => children.iter().map(Tree::sum).sum(),
+                }
+            }
+        }
+        fn leaves(t: &Tree) -> u64 {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => children.iter().map(leaves).sum(),
+            }
+        }
+        fn tree(depth: u32) -> BoxedStrategy<Tree> {
+            if depth == 0 {
+                return (0u64..100).prop_map(Tree::Leaf).boxed();
+            }
+            (0usize..3)
+                .prop_flat_map(move |n| {
+                    if n == 0 {
+                        Just(Vec::new()).boxed()
+                    } else {
+                        crate::collection::vec(tree(depth - 1), n).boxed()
+                    }
+                })
+                .prop_map(Tree::Node)
+                .boxed()
+        }
+        let strat = tree(3);
+        let mut rng = crate::test_rng("shrink-recursive-tree");
+        loop {
+            rng.begin_case();
+            let t = strat.generate(&mut rng);
+            if leaves(&t) < 2 {
+                continue;
+            }
+            let stream = rng.take_record();
+            let minimal = crate::shrink_stream(&stream, 4000, |cand| {
+                crate::replay_fails(cand, |replay| {
+                    let t = strat.generate(replay);
+                    assert!(leaves(&t) < 2, "still failing");
+                })
+            });
+            let mut replay = crate::TestRng::replay(minimal);
+            let t = strat.generate(&mut replay);
+            assert_eq!(leaves(&t), 2, "a 'has >= 2 leaves' failure should shrink to exactly 2");
+            assert_eq!(t.sum(), 0, "leaf payloads should shrink to zero alongside the shape");
+            break;
         }
     }
 }
