@@ -26,6 +26,11 @@ fn print_usage() {
     println!("  --apps a,b,c          restrict the benchmark set");
     println!("  --schedulers r,s,h,l  restrict the scheduler comparison");
     println!("  --jobs N              worker threads (output is identical at any N)");
+    println!("  --on-error fail|collect|retry:N");
+    println!("                        failure policy: stop promptly (default), run");
+    println!("                        everything and print n/a cells, or retry");
+    println!();
+    println!("exit codes: 0 ok, 2 usage error, 3 some points failed, 4 chaos violation");
     println!();
     println!("commands:");
     print_command_table();
@@ -56,7 +61,10 @@ fn main() {
                     println!();
                     print_usage();
                 } else {
-                    (spec.run)(rest);
+                    let code = (spec.run)(rest);
+                    if code != swarm_bench::exit_code::OK {
+                        std::process::exit(code);
+                    }
                 }
             }
             None => {

@@ -10,14 +10,17 @@
 //! * `--schedulers random,stealing,hints,lbhints` — restrict the scheduler
 //!   comparison;
 //! * `--jobs N` — worker threads for the experiment matrix (default: all
-//!   available hardware threads; `--jobs 1` forces the serial path).
+//!   available hardware threads; `--jobs 1` forces the serial path);
+//! * `--on-error fail|collect|retry:N` — what the pool does when a point
+//!   fails (default `fail`: stop promptly; `collect` runs everything and
+//!   reports `n/a` cells; `retry:N` re-runs a failed point up to N times).
 
 use std::str::FromStr;
 
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId, InputScale};
 
-use crate::pool::Pool;
+use crate::pool::{FailurePolicy, Pool};
 use crate::runner::RunRequest;
 
 /// A list-valued flag that remembers whether the user set it explicitly.
@@ -88,11 +91,27 @@ fn parse_csv<T: FromStr>(raw: &str) -> Vec<T> {
     raw.split(',').filter_map(|s| s.trim().parse().ok()).collect()
 }
 
+/// Parse an `--on-error` value: `fail`, `collect`, or `retry[:N]` (N defaults
+/// to 2 total attempts). Anything else leaves the previous policy in place,
+/// matching the harness's tolerance for malformed flags.
+fn parse_policy(raw: &str) -> Option<FailurePolicy> {
+    match raw.to_ascii_lowercase().as_str() {
+        "fail" => Some(FailurePolicy::FailFast),
+        "collect" => Some(FailurePolicy::CollectAll),
+        "retry" => Some(FailurePolicy::Retry { attempts: 2 }),
+        other => {
+            let attempts = other.strip_prefix("retry:")?.parse().ok()?;
+            Some(FailurePolicy::Retry { attempts })
+        }
+    }
+}
+
 /// Parsed harness options.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
-    /// Core counts to sweep.
-    pub cores: Vec<u32>,
+    /// Core counts to sweep (defaults to 1,4,16,64; the `chaos` command
+    /// narrows it via [`HarnessArgs::cores_or`]).
+    pub cores: ListArg<u32>,
     /// Workload scale.
     pub scale: InputScale,
     /// Workload seed.
@@ -105,17 +124,20 @@ pub struct HarnessArgs {
     pub schedulers: ListArg<Scheduler>,
     /// Worker threads for the experiment matrix (0 = available parallelism).
     pub jobs: usize,
+    /// What the pool does when a point fails (`--on-error`).
+    pub policy: FailurePolicy,
 }
 
 impl Default for HarnessArgs {
     fn default() -> Self {
         HarnessArgs {
-            cores: vec![1, 4, 16, 64],
+            cores: ListArg::implicit(vec![1, 4, 16, 64]),
             scale: InputScale::Small,
             seed: 0xF1605,
             apps: ListArg::implicit(BenchmarkId::TABLE1.to_vec()),
             schedulers: ListArg::implicit(Scheduler::ALL.to_vec()),
             jobs: 0,
+            policy: FailurePolicy::FailFast,
         }
     }
 }
@@ -136,10 +158,7 @@ impl HarnessArgs {
             match flag.as_str() {
                 "--cores" => {
                     if let Some(v) = it.next() {
-                        let cores: Vec<u32> = parse_csv(&v);
-                        if !cores.is_empty() {
-                            parsed.cores = cores;
-                        }
+                        parsed.cores.set_from_csv(&v);
                     }
                 }
                 "--scale" => {
@@ -175,6 +194,13 @@ impl HarnessArgs {
                         parsed.schedulers.set_from_csv(&v);
                     }
                 }
+                "--on-error" => {
+                    if let Some(v) = it.next() {
+                        if let Some(policy) = parse_policy(&v) {
+                            parsed.policy = policy;
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -187,15 +213,22 @@ impl HarnessArgs {
         self.cores.iter().copied().max().unwrap_or(1)
     }
 
-    /// The experiment pool honouring `--jobs`.
+    /// The experiment pool honouring `--jobs` and `--on-error`.
     pub fn pool(&self) -> Pool {
-        Pool::new(self.jobs)
+        Pool::new(self.jobs).with_policy(self.policy)
     }
 
     /// A request for one simulation point at this invocation's scale and
     /// seed (what almost every figure matrix is built from).
     pub fn request(&self, spec: AppSpec, scheduler: Scheduler, cores: u32) -> RunRequest {
-        RunRequest { spec, scheduler, cores, scale: self.scale, seed: self.seed }
+        RunRequest { spec, scheduler, cores, scale: self.scale, seed: self.seed, fault: None }
+    }
+
+    /// The core counts to sweep, replaced by `figure_default` when the user
+    /// did not pass `--cores` (the `chaos` command sweeps a smaller default
+    /// than the figures). An explicit `--cores` always wins.
+    pub fn cores_or(&self, figure_default: &[u32]) -> Vec<u32> {
+        self.cores.or(figure_default)
     }
 
     /// The benchmarks to run, replaced by `figure_default` when the user did
@@ -260,7 +293,7 @@ mod tests {
             "--seed",
             "9",
         ]));
-        assert_eq!(args.cores, vec![1, 2, 8]);
+        assert_eq!(&*args.cores, [1, 2, 8]);
         assert_eq!(args.scale, InputScale::Tiny);
         assert_eq!(&*args.apps, [BenchmarkId::Des, BenchmarkId::Kmeans]);
         assert_eq!(args.seed, 9);
@@ -269,7 +302,8 @@ mod tests {
     #[test]
     fn ignores_unknown_flags_and_bad_values() {
         let args = HarnessArgs::parse_from(s(&["--wat", "--cores", "x", "--schedulers", "hints"]));
-        assert_eq!(args.cores, vec![1, 4, 16, 64]);
+        assert_eq!(&*args.cores, [1, 4, 16, 64]);
+        assert!(!args.cores.is_explicit());
         assert_eq!(&*args.schedulers, [Scheduler::Hints]);
         // A wholly unparsable list leaves the default in place, implicitly.
         let bad = HarnessArgs::parse_from(s(&["--apps", "zorp,blag"]));
@@ -298,6 +332,33 @@ mod tests {
         let full = HarnessArgs::parse_from(s(&["--schedulers", "random,stealing,hints,lbhints"]));
         assert!(full.schedulers.is_explicit());
         assert_eq!(full.schedulers_or(&subset), Scheduler::ALL.to_vec());
+    }
+
+    #[test]
+    fn cores_or_respects_explicit_choice() {
+        assert_eq!(HarnessArgs::default().cores_or(&[1, 16]), vec![1, 16]);
+        let explicit = HarnessArgs::parse_from(s(&["--cores", "1,4,16,64"]));
+        assert!(explicit.cores.is_explicit());
+        assert_eq!(explicit.cores_or(&[1, 16]), vec![1, 4, 16, 64]);
+    }
+
+    #[test]
+    fn on_error_selects_the_failure_policy() {
+        assert_eq!(HarnessArgs::default().policy, FailurePolicy::FailFast);
+        let collect = HarnessArgs::parse_from(s(&["--on-error", "collect"]));
+        assert_eq!(collect.policy, FailurePolicy::CollectAll);
+        assert_eq!(collect.pool().policy(), FailurePolicy::CollectAll);
+        let retry = HarnessArgs::parse_from(s(&["--on-error", "retry:5"]));
+        assert_eq!(retry.policy, FailurePolicy::Retry { attempts: 5 });
+        assert_eq!(
+            HarnessArgs::parse_from(s(&["--on-error", "retry"])).policy,
+            FailurePolicy::Retry { attempts: 2 }
+        );
+        // A malformed value leaves the default in place.
+        let bad = HarnessArgs::parse_from(s(&["--on-error", "explode"]));
+        assert_eq!(bad.policy, FailurePolicy::FailFast);
+        let fail = HarnessArgs::parse_from(s(&["--on-error", "collect", "--on-error", "fail"]));
+        assert_eq!(fail.policy, FailurePolicy::FailFast);
     }
 
     #[test]

@@ -11,7 +11,7 @@ const SIGNALS: [Scheduler; 3] = [Scheduler::Hints, Scheduler::LbHints, Scheduler
 
 /// Run the `ablation_lb` command with the argument slice that follows the
 /// subcommand name (`swarm ablation_lb <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let args = HarnessArgs::parse_args(args);
     let args = &args;
     let cores = args.max_cores();
@@ -49,4 +49,6 @@ pub fn run(args: &[String]) {
         );
     }
     println!("(positive percentages mean the load balancer improved over plain Hints)");
+
+    crate::exit_code::OK
 }

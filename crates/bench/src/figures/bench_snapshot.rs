@@ -101,7 +101,7 @@ fn engine_loop_run(roots: u64, chain: u64) -> u64 {
 
 /// Run the `bench_snapshot` command with the argument slice that follows the
 /// subcommand name (`swarm bench <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let mut args = args.iter().cloned();
     let mut out = String::from("BENCH_mechanisms.json");
     let mut fast = false;
@@ -222,4 +222,6 @@ pub fn run(args: &[String]) {
     }
     println!("{:<32}{engine_cycles_per_sec:>12.0}", "engine_cycles_per_sec");
     println!("wrote {out}");
+
+    crate::exit_code::OK
 }

@@ -3,13 +3,13 @@
 //! versions, the hint-based schedulers use the fine-grain variant (the paper
 //! reports the best-performing version per scheme).
 
-use crate::{format_speedup_table, CurveSpec, HarnessArgs};
+use crate::{format_speedup_table_results, CurveSpec, HarnessArgs};
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId};
 
 /// Run the `fig10` command with the argument slice that follows the
 /// subcommand name (`swarm fig10 <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let args = HarnessArgs::parse_args(args);
     let series: Vec<CurveSpec> = args
         .apps
@@ -26,10 +26,14 @@ pub fn run(args: &[String]) {
             })
         })
         .collect();
-    let curves = args.pool().speedup_curves(&series, &args.cores, args.scale, args.seed);
+    let curves = args.pool().try_speedup_curves(&series, &args.cores, args.scale, args.seed);
 
     for (bench, app_curves) in args.apps.iter().zip(curves.chunks(args.schedulers.len())) {
         println!("Fig. 10 [{}]: speedup vs cores", bench.name());
-        println!("{}", format_speedup_table(app_curves));
+        println!("{}", format_speedup_table_results(app_curves));
     }
+
+    super::report_failures(
+        curves.iter().flat_map(|(_, points)| points).filter_map(|p| p.as_ref().err()),
+    )
 }

@@ -2,12 +2,12 @@
 //! largest core count under Random, Stealing, Hints and LBHints (normalized
 //! to Random) — the benchmarks where the data-centric load balancer matters.
 
-use crate::{format_breakdown_table, HarnessArgs};
+use crate::{format_breakdown_table_results, HarnessArgs};
 use swarm_apps::{AppSpec, BenchmarkId};
 
 /// Run the `fig11` command with the argument slice that follows the
 /// subcommand name (`swarm fig11 <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let args = HarnessArgs::parse_args(args);
     let args = &args;
     let cores = args.max_cores();
@@ -17,7 +17,7 @@ pub fn run(args: &[String]) {
             .filter(|b| args.apps.contains(b))
             .collect();
 
-    let entries = args.pool().run_labeled(
+    let entries = args.pool().try_run_labeled(
         benches
             .iter()
             .flat_map(|&bench| {
@@ -34,6 +34,8 @@ pub fn run(args: &[String]) {
             "Fig. 11 [{}]: core-cycle breakdown at {cores} cores (normalized to Random)",
             bench.name()
         );
-        println!("{}", format_breakdown_table(bench_entries));
+        println!("{}", format_breakdown_table_results(bench_entries));
     }
+
+    super::report_failures(entries.iter().filter_map(|(_, r)| r.as_ref().err()))
 }

@@ -2,12 +2,12 @@
 //! (a) speedup from 1 to N cores and (b) cycle breakdown at the largest
 //! core count, normalized to Random.
 
-use crate::{format_breakdown_table, format_speedup_table, CurveSpec, HarnessArgs};
+use crate::{format_breakdown_table_results, format_speedup_table_results, CurveSpec, HarnessArgs};
 use swarm_apps::{AppSpec, BenchmarkId};
 
 /// Run the `fig2` command with the argument slice that follows the
 /// subcommand name (`swarm fig2 <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let args = HarnessArgs::parse_args(args);
     let spec = AppSpec::coarse(BenchmarkId::Des);
 
@@ -15,22 +15,32 @@ pub fn run(args: &[String]) {
     // of the sweep, so Fig. 2b reuses those points instead of re-running.
     let series: Vec<CurveSpec> =
         args.schedulers.iter().map(|&s| (s.name().to_string(), spec, s)).collect();
-    let curves = args.pool().speedup_curves(&series, &args.cores, args.scale, args.seed);
+    let curves = args.pool().try_speedup_curves(&series, &args.cores, args.scale, args.seed);
 
     println!("Fig. 2a: des speedup vs cores (relative to 1-core Swarm)");
-    println!("{}", format_speedup_table(&curves));
+    println!("{}", format_speedup_table_results(&curves));
 
     let max = args.max_cores();
     println!("Fig. 2b: des cycle breakdown at {max} cores (normalized to Random)");
     let entries: Vec<_> = curves
-        .into_iter()
+        .iter()
         .map(|(label, points)| {
             let at_max = points
-                .into_iter()
-                .find(|p| p.request.cores == max)
+                .iter()
+                .find(|p| {
+                    let cores = match p {
+                        Ok(point) => point.request.cores,
+                        Err(err) => err.request().cores,
+                    };
+                    cores == max
+                })
                 .expect("max_cores is the largest swept core count");
-            (label, at_max.stats)
+            (label.clone(), at_max.clone().map(|p| p.stats))
         })
         .collect();
-    println!("{}", format_breakdown_table(&entries));
+    println!("{}", format_breakdown_table_results(&entries));
+
+    super::report_failures(
+        curves.iter().flat_map(|(_, points)| points).filter_map(|p| p.as_ref().err()),
+    )
 }

@@ -8,7 +8,7 @@ use swarm_apps::AppSpec;
 
 /// Run the `fig3` command with the argument slice that follows the
 /// subcommand name (`swarm fig3 <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let args = HarnessArgs::parse_args(args);
     let requests: Vec<RunRequest> = args
         .apps
@@ -27,4 +27,6 @@ pub fn run(args: &[String]) {
             format_classification_row(bench.name(), &classification, classification.total())
         );
     }
+
+    crate::exit_code::OK
 }

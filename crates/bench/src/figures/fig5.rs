@@ -2,13 +2,13 @@
 //! application at the largest core count, under Random, Stealing and Hints,
 //! normalized to Random.
 
-use crate::{format_breakdown_table, format_traffic_table, HarnessArgs};
+use crate::{format_breakdown_table_results, format_traffic_table_results, HarnessArgs};
 use spatial_hints::Scheduler;
 use swarm_apps::AppSpec;
 
 /// Run the `fig5` command with the argument slice that follows the
 /// subcommand name (`swarm fig5 <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let args = HarnessArgs::parse_args(args);
     let args = &args;
     let schedulers =
@@ -16,7 +16,7 @@ pub fn run(args: &[String]) {
     let cores = args.max_cores();
 
     // One flat labelled matrix across all apps × schedulers.
-    let entries = args.pool().run_labeled(
+    let entries = args.pool().try_run_labeled(
         args.apps
             .iter()
             .flat_map(|&bench| {
@@ -33,11 +33,13 @@ pub fn run(args: &[String]) {
             "Fig. 5a [{}]: core-cycle breakdown at {cores} cores (normalized to Random)",
             bench.name()
         );
-        println!("{}", format_breakdown_table(app_entries));
+        println!("{}", format_breakdown_table_results(app_entries));
         println!(
             "Fig. 5b [{}]: NoC data breakdown at {cores} cores (normalized to Random)",
             bench.name()
         );
-        println!("{}", format_traffic_table(app_entries));
+        println!("{}", format_traffic_table_results(app_entries));
     }
+
+    super::report_failures(entries.iter().filter_map(|(_, r)| r.as_ref().err()))
 }

@@ -9,7 +9,7 @@ use swarm_apps::{AppSpec, BenchmarkId};
 
 /// Run the `fig6` command with the argument slice that follows the
 /// subcommand name (`swarm fig6 <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let args = HarnessArgs::parse_args(args);
     let benches: Vec<BenchmarkId> =
         BenchmarkId::WITH_FINE_GRAIN.into_iter().filter(|b| args.apps.contains(b)).collect();
@@ -41,4 +41,6 @@ pub fn run(args: &[String]) {
         }
         print!("{}", format_classification_row(label, &classification, cg_total));
     }
+
+    crate::exit_code::OK
 }

@@ -8,7 +8,7 @@ use swarm_apps::{AppSpec, BenchmarkId};
 
 /// Run the `fig7` command with the argument slice that follows the
 /// subcommand name (`swarm fig7 <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let args = HarnessArgs::parse_args(args);
     let schedulers =
         args.schedulers_or(&[Scheduler::Random, Scheduler::Stealing, Scheduler::Hints]);
@@ -43,4 +43,6 @@ pub fn run(args: &[String]) {
         );
         println!("{}", format_speedup_table(curves));
     }
+
+    crate::exit_code::OK
 }

@@ -2,13 +2,13 @@
 //! of bfs, sssp, astar and color at the largest core count, under Random,
 //! Stealing and Hints, normalized to the coarse-grain version under Random.
 
-use crate::{format_breakdown_table, format_traffic_table, HarnessArgs};
+use crate::{format_breakdown_table_results, format_traffic_table_results, HarnessArgs};
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId};
 
 /// Run the `fig8` command with the argument slice that follows the
 /// subcommand name (`swarm fig8 <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let args = HarnessArgs::parse_args(args);
     let args = &args;
     let schedulers =
@@ -19,7 +19,7 @@ pub fn run(args: &[String]) {
 
     // Per bench: the CG-Random normalization baseline (as in the paper),
     // then the FG runs — all batched into one labelled matrix.
-    let entries = args.pool().run_labeled(
+    let entries = args.pool().try_run_labeled(
         benches
             .iter()
             .flat_map(|&bench| {
@@ -38,11 +38,13 @@ pub fn run(args: &[String]) {
             "Fig. 8a [{}]: FG core-cycle breakdown at {cores} cores (normalized to CG-Random)",
             bench.name()
         );
-        println!("{}", format_breakdown_table(bench_entries));
+        println!("{}", format_breakdown_table_results(bench_entries));
         println!(
             "Fig. 8b [{}]: FG NoC data breakdown at {cores} cores (normalized to CG-Random)",
             bench.name()
         );
-        println!("{}", format_traffic_table(bench_entries));
+        println!("{}", format_traffic_table_results(bench_entries));
     }
+
+    super::report_failures(entries.iter().filter_map(|(_, r)| r.as_ref().err()))
 }

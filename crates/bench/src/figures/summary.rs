@@ -51,7 +51,7 @@ const RUNS_PER_APP: usize = 6;
 
 /// Run the `summary` command with the argument slice that follows the
 /// subcommand name (`swarm summary <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let json = args.iter().any(|a| a == "--json");
     let args = HarnessArgs::parse_args(args);
     let cores = args.max_cores();
@@ -107,7 +107,7 @@ pub fn run(args: &[String]) {
 
     if json {
         println!("{}", to_json_pretty(&summaries));
-        return;
+        return crate::exit_code::OK;
     }
 
     println!("Section VI-B summary at {cores} cores (speedups over 1-core Random)");
@@ -141,4 +141,6 @@ pub fn run(args: &[String]) {
         col(|s| s.abort_cycle_reduction_hints_vs_random),
         col(|s| s.traffic_reduction_hints_vs_random)
     );
+
+    crate::exit_code::OK
 }

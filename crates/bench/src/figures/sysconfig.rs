@@ -8,7 +8,7 @@ use swarm_types::SystemConfig;
 
 /// Run the `sysconfig` command with the argument slice that follows the
 /// subcommand name (`swarm sysconfig <args...>`).
-pub fn run(_args: &[String]) {
+pub fn run(_args: &[String]) -> i32 {
     let cfg = SystemConfig::paper_256core();
     println!("Table II: configuration of the {}-core system", cfg.num_cores());
     println!(
@@ -58,4 +58,6 @@ pub fn run(_args: &[String]) {
         "  LB          {} buckets/tile, reconfig every {} cycles, correction {}%",
         cfg.lb_buckets_per_tile, cfg.lb_epoch, cfg.lb_correction_pct
     );
+
+    crate::exit_code::OK
 }

@@ -12,7 +12,7 @@ use swarm_apps::AppSpec;
 
 /// Run the `table1` command with the argument slice that follows the
 /// subcommand name (`swarm table1 <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let args = HarnessArgs::parse_args(args);
     let requests: Vec<RunRequest> = args
         .apps
@@ -43,4 +43,6 @@ pub fn run(args: &[String]) {
             bench.hint_pattern()
         );
     }
+
+    crate::exit_code::OK
 }

@@ -15,12 +15,12 @@
 //! and `--schedulers` override. Pool-parallel like every other harness
 //! binary: `--jobs N` output is byte-identical to `--jobs 1`.
 
-use crate::{format_speedup_table, CurveSpec, HarnessArgs};
+use crate::{format_speedup_table_results, CurveSpec, HarnessArgs};
 use swarm_apps::{AppSpec, BenchmarkId};
 
 /// Run the `table2` command with the argument slice that follows the
 /// subcommand name (`swarm table2 <args...>`).
-pub fn run(args: &[String]) {
+pub fn run(args: &[String]) -> i32 {
     let args = HarnessArgs::parse_args(args);
     let apps = args.apps_or(&BenchmarkId::BEYOND_TABLE1);
 
@@ -49,10 +49,14 @@ pub fn run(args: &[String]) {
             args.schedulers.iter().map(move |&s| (s.name().to_string(), AppSpec::coarse(bench), s))
         })
         .collect();
-    let curves = args.pool().speedup_curves(&series, &args.cores, args.scale, args.seed);
+    let curves = args.pool().try_speedup_curves(&series, &args.cores, args.scale, args.seed);
 
     for (bench, app_curves) in apps.iter().zip(curves.chunks(args.schedulers.len())) {
         println!("Table 2 [{}]: speedup vs cores", bench.name());
-        println!("{}", format_speedup_table(app_curves));
+        println!("{}", format_speedup_table_results(app_curves));
     }
+
+    super::report_failures(
+        curves.iter().flat_map(|(_, points)| points).filter_map(|p| p.as_ref().err()),
+    )
 }

@@ -14,11 +14,18 @@
 //! * [`report`] — plain-text table formatting matching the paper's figures;
 //! * [`figures`] — the body of every figure/table command, parameterized by
 //!   [`HarnessArgs`] (`--cores`, `--scale`, `--seed`, `--apps`,
-//!   `--schedulers`, `--jobs`);
+//!   `--schedulers`, `--jobs`, `--on-error`);
 //! * [`registry`] — the name → figure table behind the unified `swarm`
 //!   binary (`swarm list`, `swarm fig2 ...`) and the legacy per-figure shim
 //!   binaries (see `REPRODUCING.md` in the repository root for the full
 //!   index).
+//!
+//! Failure handling: every point runs through [`runner::run_point_result`],
+//! which converts panics and typed simulator errors into [`RunError`]
+//! values; the [`Pool`]'s [`FailurePolicy`] decides whether a failure stops
+//! the matrix (`FailFast`, the default), lets the rest finish (`CollectAll`,
+//! rendering failed points as `n/a` cells), or retries. Commands exit with
+//! the codes in [`exit_code`].
 
 #![warn(missing_docs)]
 
@@ -29,11 +36,32 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 
+/// Process exit codes shared by the `swarm` subcommands and the legacy shim
+/// binaries.
+pub mod exit_code {
+    /// Everything ran and validated.
+    pub const OK: i32 = 0;
+    /// Bad command line (unknown subcommand, malformed `--plan`, ...).
+    pub const USAGE: i32 = 2;
+    /// Some simulation points failed; the surviving results were printed
+    /// with `n/a` cells for the failed points.
+    pub const PARTIAL: i32 = 3;
+    /// The chaos battery found a contract violation (a fault made a run
+    /// hang, panic, or go nondeterministic instead of failing typed).
+    pub const CHAOS: i32 = 4;
+}
+
 pub use cli::{HarnessArgs, ListArg};
-pub use pool::{CurveGroup, CurveSpec, LabeledCurve, Pool};
+pub use pool::{
+    CurveGroup, CurveSpec, FailurePolicy, LabeledCurve, PointResult, Pool, ResultCurve, StatsResult,
+};
 pub use registry::{find as find_command, FigureSpec, REGISTRY};
 pub use report::{
-    classification_header, format_breakdown_table, format_classification_row, format_speedup_table,
-    format_traffic_table, gmean,
+    classification_header, format_breakdown_table, format_breakdown_table_results,
+    format_classification_row, format_speedup_table, format_speedup_table_results,
+    format_traffic_table, format_traffic_table_results, gmean,
 };
-pub use runner::{run_app, run_app_profiled, speedup_curve, ExperimentPoint, RunRequest};
+pub use runner::{
+    run_app, run_app_profiled, run_point_result, speedup_curve, ExperimentPoint, RunError,
+    RunRequest,
+};

@@ -46,7 +46,7 @@ use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, InputScale};
 use swarm_sim::RunStats;
 
-use crate::runner::{run_point, ExperimentPoint, RunRequest};
+use crate::runner::{run_point_result, ExperimentPoint, RunError, RunRequest};
 
 /// One labelled speedup curve to sweep: `(label, app, scheduler)`.
 ///
@@ -62,14 +62,54 @@ pub type LabeledCurve = (String, Vec<ExperimentPoint>);
 /// plus the group's curves (see [`Pool::speedup_curve_groups`]).
 pub type CurveGroup = (RunStats, Vec<LabeledCurve>);
 
+/// One finished matrix slot: the stats, or the typed reason they are
+/// missing.
+pub type StatsResult = Result<RunStats, RunError>;
+
+/// One finished sweep point: the measured point, or the typed reason it is
+/// missing (what the `n/a`-aware report formatters consume).
+pub type PointResult = Result<ExperimentPoint, RunError>;
+
+/// A swept curve in the Result-typed pipeline: the label plus one
+/// [`PointResult`] per core count.
+pub type ResultCurve = (String, Vec<PointResult>);
+
+/// What the pool does when a simulation point fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Stop scheduling new points after the first failure; points not yet
+    /// started come back as [`RunError::Skipped`]. The default, matching the
+    /// harness's historical abort-promptly behavior.
+    FailFast,
+    /// Run every point regardless of failures and report each failure in
+    /// its slot — the graceful-degradation mode behind `--on-error collect`.
+    CollectAll,
+    /// Re-run a failed point up to `attempts` times total before recording
+    /// its (final) failure, then keep going as [`FailurePolicy::CollectAll`]
+    /// does. Simulations are deterministic, so this only helps against
+    /// environmental flakes (e.g. resource exhaustion), not real failures.
+    Retry {
+        /// Total attempts per point (clamped to at least 1).
+        attempts: u32,
+    },
+}
+
+impl Default for FailurePolicy {
+    /// Fail fast, as the harness always has.
+    fn default() -> Self {
+        FailurePolicy::FailFast
+    }
+}
+
 /// A fixed-size pool of OS threads that executes experiment matrices.
 ///
 /// The pool itself is trivially cheap to construct (it holds only the job
-/// count; threads are scoped per call), so binaries create one up front from
-/// the parsed arguments and pass it to every sweep.
+/// count and failure policy; threads are scoped per call), so binaries
+/// create one up front from the parsed arguments and pass it to every sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct Pool {
     jobs: usize,
+    policy: FailurePolicy,
 }
 
 impl Pool {
@@ -77,14 +117,22 @@ impl Pool {
     /// the machine's available parallelism" (the `--jobs` default).
     pub fn new(jobs: usize) -> Pool {
         let jobs = if jobs == 0 { Self::available_parallelism() } else { jobs };
-        Pool { jobs }
+        Pool { jobs, policy: FailurePolicy::FailFast }
     }
 
     /// A single-threaded pool: runs every request on the calling thread, in
     /// request order. The parallel paths are defined to produce byte-identical
     /// results to this.
     pub fn serial() -> Pool {
-        Pool { jobs: 1 }
+        Pool { jobs: 1, policy: FailurePolicy::FailFast }
+    }
+
+    /// The same pool with a different [`FailurePolicy`] (what `--on-error`
+    /// selects).
+    #[must_use]
+    pub fn with_policy(mut self, policy: FailurePolicy) -> Pool {
+        self.policy = policy;
+        self
     }
 
     /// The number of hardware threads to use by default.
@@ -97,6 +145,11 @@ impl Pool {
         self.jobs
     }
 
+    /// The pool's failure policy.
+    pub fn policy(&self) -> FailurePolicy {
+        self.policy
+    }
+
     /// Run every request and return the stats **in request order**,
     /// regardless of which worker finished which request first.
     ///
@@ -105,6 +158,13 @@ impl Pool {
     /// Panics if any simulation fails validation against its serial
     /// reference (the panic of the failing run is propagated).
     pub fn run_matrix(&self, requests: &[RunRequest]) -> Vec<RunStats> {
+        Self::unwrap_all(self.execute(requests, false))
+    }
+
+    /// Like [`Pool::run_matrix`], but a failed point comes back as a typed
+    /// [`RunError`] in its slot instead of panicking; which points still run
+    /// after a failure is governed by the pool's [`FailurePolicy`].
+    pub fn try_run_matrix(&self, requests: &[RunRequest]) -> Vec<StatsResult> {
         self.execute(requests, false)
     }
 
@@ -116,6 +176,11 @@ impl Pool {
     /// Panics if any simulation fails validation against its serial
     /// reference.
     pub fn run_matrix_profiled(&self, requests: &[RunRequest]) -> Vec<RunStats> {
+        Self::unwrap_all(self.execute(requests, true))
+    }
+
+    /// [`Pool::try_run_matrix`] with access profiling enabled on every run.
+    pub fn try_run_matrix_profiled(&self, requests: &[RunRequest]) -> Vec<StatsResult> {
         self.execute(requests, true)
     }
 
@@ -130,6 +195,18 @@ impl Pool {
         let requests: Vec<RunRequest> = entries.iter().map(|(_, r)| *r).collect();
         let stats = self.run_matrix(&requests);
         entries.into_iter().zip(stats).map(|((label, _), s)| (label, s)).collect()
+    }
+
+    /// Like [`Pool::run_labeled`], but each slot carries its own
+    /// [`StatsResult`] so a failed row degrades to `n/a` in the tables
+    /// instead of tearing the figure down.
+    pub fn try_run_labeled(
+        &self,
+        entries: Vec<(String, RunRequest)>,
+    ) -> Vec<(String, StatsResult)> {
+        let requests: Vec<RunRequest> = entries.iter().map(|(_, r)| *r).collect();
+        let results = self.execute(&requests, false);
+        entries.into_iter().zip(results).map(|((label, _), r)| (label, r)).collect()
     }
 
     /// Sweep core counts for one app/scheduler, with speedups relative to
@@ -168,33 +245,74 @@ impl Pool {
         scale: InputScale,
         seed: u64,
     ) -> Vec<LabeledCurve> {
+        let curves = self.try_speedup_curves(series, core_counts, scale, seed);
+        if let Some(err) = curves
+            .iter()
+            .flat_map(|(_, points)| points)
+            .filter_map(|p| p.as_ref().err())
+            .find(|e| e.is_root_cause())
+        {
+            panic!("{err}");
+        }
+        curves
+            .into_iter()
+            .map(|(label, points)| {
+                (label, points.into_iter().map(|p| p.expect("no root cause above")).collect())
+            })
+            .collect()
+    }
+
+    /// Like [`Pool::speedup_curves`], but each point is its own
+    /// [`PointResult`], so a failed point renders as `n/a` instead of
+    /// aborting the sweep. A point whose 1-core baseline failed reports the
+    /// baseline's error (its speedup is undefined) even if its own run
+    /// completed.
+    pub fn try_speedup_curves(
+        &self,
+        series: &[CurveSpec],
+        core_counts: &[u32],
+        scale: InputScale,
+        seed: u64,
+    ) -> Vec<ResultCurve> {
         // Per series: one 1-core baseline request, then one request per
         // non-1 core count (1-core entries reuse the baseline stats, exactly
         // as the serial path does).
         let mut requests = Vec::new();
         for &(_, spec, scheduler) in series {
-            requests.push(RunRequest { spec, scheduler, cores: 1, scale, seed });
+            requests.push(RunRequest { spec, scheduler, cores: 1, scale, seed, fault: None });
             for &cores in core_counts.iter().filter(|&&c| c != 1) {
-                requests.push(RunRequest { spec, scheduler, cores, scale, seed });
+                requests.push(RunRequest { spec, scheduler, cores, scale, seed, fault: None });
             }
         }
-        let mut stats = self.run_matrix(&requests).into_iter();
+        let mut results = self.execute(&requests, false).into_iter();
         series
             .iter()
             .map(|(label, spec, scheduler)| {
-                let baseline = stats.next().expect("one baseline per series");
+                let baseline = results.next().expect("one baseline per series");
                 let points = core_counts
                     .iter()
                     .map(|&cores| {
-                        let request =
-                            RunRequest { spec: *spec, scheduler: *scheduler, cores, scale, seed };
+                        let request = RunRequest {
+                            spec: *spec,
+                            scheduler: *scheduler,
+                            cores,
+                            scale,
+                            seed,
+                            fault: None,
+                        };
                         let point_stats = if cores == 1 {
                             baseline.clone()
                         } else {
-                            stats.next().expect("one run per non-1 core count")
+                            results.next().expect("one run per non-1 core count")
                         };
-                        let speedup = point_stats.speedup_over(&baseline);
-                        ExperimentPoint { request, stats: point_stats, speedup }
+                        match (&baseline, point_stats) {
+                            (Ok(base), Ok(stats)) => {
+                                let speedup = stats.speedup_over(base);
+                                Ok(ExperimentPoint { request, stats, speedup })
+                            }
+                            (_, Err(e)) => Err(e),
+                            (Err(base_err), Ok(_)) => Err(base_err.clone()),
+                        }
                     })
                     .collect();
                 (label.clone(), points)
@@ -246,7 +364,7 @@ impl Pool {
             requests.push(*baseline);
             for &(_, spec, scheduler) in series {
                 for &cores in core_counts {
-                    requests.push(RunRequest { spec, scheduler, cores, scale, seed });
+                    requests.push(RunRequest { spec, scheduler, cores, scale, seed, fault: None });
                 }
             }
         }
@@ -267,6 +385,7 @@ impl Pool {
                                     cores,
                                     scale,
                                     seed,
+                                    fault: None,
                                 };
                                 let point_stats =
                                     stats.next().expect("one run per series per core count");
@@ -287,7 +406,7 @@ impl Pool {
     /// "coarse" and "best" version of apps that have no fine-grain variant).
     /// Runs are deterministic, so one simulation serves every duplicate
     /// slot — results still come back one per request, in request order.
-    fn execute(&self, requests: &[RunRequest], profiled: bool) -> Vec<RunStats> {
+    fn execute(&self, requests: &[RunRequest], profiled: bool) -> Vec<StatsResult> {
         let mut first_of: HashMap<RunRequest, usize> = HashMap::new();
         let mut unique: Vec<RunRequest> = Vec::new();
         let slots: Vec<usize> = requests
@@ -299,69 +418,112 @@ impl Pool {
                 })
             })
             .collect();
-        let unique_stats = self.execute_unique(&unique, profiled);
-        slots.into_iter().map(|i| unique_stats[i].clone()).collect()
+        let unique_results = self.execute_unique(&unique, profiled);
+        slots.into_iter().map(|i| unique_results[i].clone()).collect()
     }
 
     /// Dynamic work-sharing execution: workers pull the next unclaimed
     /// request index from a shared cursor (so one slow point never idles
-    /// the rest behind a static partition) and stash `(index, stats)` pairs
+    /// the rest behind a static partition) and stash `(index, result)` pairs
     /// locally; the caller re-joins them into request order.
     ///
-    /// Fail-fast: a validation-failure panic in one worker raises a flag
-    /// that stops the other workers at their next pull, so the matrix
-    /// aborts promptly (as the serial path does) instead of draining every
-    /// remaining point first.
-    fn execute_unique(&self, requests: &[RunRequest], profiled: bool) -> Vec<RunStats> {
+    /// Every failure mode of a point — including a panic inside the engine —
+    /// is captured as a [`RunError`] in that point's slot. Under
+    /// [`FailurePolicy::FailFast`] a failure raises a flag that stops the
+    /// other workers at their next pull, and every request never claimed
+    /// comes back as [`RunError::Skipped`]; the other policies drain the
+    /// whole matrix.
+    fn execute_unique(&self, requests: &[RunRequest], profiled: bool) -> Vec<StatsResult> {
         if requests.is_empty() {
             return Vec::new();
         }
+        let fail_fast = self.policy == FailurePolicy::FailFast;
+        let attempts = match self.policy {
+            FailurePolicy::Retry { attempts } => attempts.max(1),
+            _ => 1,
+        };
         let workers = self.jobs.min(requests.len());
         if workers <= 1 {
-            return requests.iter().map(|&r| run_point(r, profiled)).collect();
+            let mut results = Vec::with_capacity(requests.len());
+            let mut failed = false;
+            for &request in requests {
+                if failed && fail_fast {
+                    results.push(Err(RunError::Skipped { request }));
+                    continue;
+                }
+                let result = run_with_retries(request, profiled, attempts);
+                failed |= result.is_err();
+                results.push(result);
+            }
+            return results;
         }
         let cursor = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
-        let mut slots: Vec<Option<RunStats>> = vec![None; requests.len()];
+        let mut slots: Vec<Option<StatsResult>> = vec![None; requests.len()];
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut local = Vec::new();
-                        while !failed.load(Ordering::Relaxed) {
+                        loop {
+                            if fail_fast && failed.load(Ordering::Relaxed) {
+                                break;
+                            }
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&request) = requests.get(i) else { break };
-                            let run =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    run_point(request, profiled)
-                                }));
-                            match run {
-                                Ok(stats) => local.push((i, stats)),
-                                Err(payload) => {
-                                    failed.store(true, Ordering::Relaxed);
-                                    return Err(payload);
-                                }
+                            let result = run_with_retries(request, profiled, attempts);
+                            if result.is_err() {
+                                failed.store(true, Ordering::Relaxed);
                             }
+                            local.push((i, result));
                         }
-                        Ok(local)
+                        local
                     })
                 })
                 .collect();
             for handle in handles {
-                match handle.join().unwrap_or_else(Err) {
+                match handle.join() {
                     Ok(local) => {
-                        for (i, stats) in local {
-                            slots[i] = Some(stats);
+                        for (i, result) in local {
+                            slots[i] = Some(result);
                         }
                     }
-                    // A worker panicking means a simulation failed
-                    // validation; surface that, not a join error.
+                    // run_with_retries catches simulation panics, so a worker
+                    // unwinding is a harness bug — propagate it.
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
         });
-        slots.into_iter().map(|s| s.expect("every request index was claimed")).collect()
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or(Err(RunError::Skipped { request: requests[i] })))
+            .collect()
     }
+
+    /// Panic with the first root-cause error, exactly as the pre-Result
+    /// harness did, or hand back the unwrapped stats.
+    fn unwrap_all(results: Vec<StatsResult>) -> Vec<RunStats> {
+        if let Some(err) =
+            results.iter().filter_map(|r| r.as_ref().err()).find(|e| e.is_root_cause())
+        {
+            panic!("{err}");
+        }
+        results.into_iter().map(|r| r.expect("no root cause above")).collect()
+    }
+}
+
+/// Run one point, re-running failures up to `attempts` total times (the
+/// [`FailurePolicy::Retry`] loop; the other policies pass `attempts == 1`).
+fn run_with_retries(request: RunRequest, profiled: bool, attempts: u32) -> StatsResult {
+    let mut result = run_point_result(request, profiled);
+    for _ in 1..attempts {
+        if result.is_ok() {
+            break;
+        }
+        result = run_point_result(request, profiled);
+    }
+    result
 }
 
 impl Default for Pool {
@@ -464,5 +626,69 @@ mod tests {
     fn profiled_matrix_collects_accesses() {
         let stats = Pool::new(2).run_matrix_profiled(&[request(2), request(4)]);
         assert!(stats.iter().all(|s| !s.committed_accesses.is_empty()));
+    }
+
+    /// A request doomed to a deterministic typed failure: a lost task wake
+    /// at cycle 0 wedges the run into a deadlock.
+    fn doomed(cores: u32) -> RunRequest {
+        use swarm_sim::{FaultEvent, FaultKind};
+        request(cores)
+            .with_fault(FaultEvent { at_cycle: 0, kind: FaultKind::LostTaskWake { ts: 1 } })
+    }
+
+    #[test]
+    fn collect_all_reports_each_failure_in_its_slot() {
+        use swarm_types::SimError;
+        let requests = vec![request(1), doomed(2), request(4)];
+        let results = Pool::new(2).with_policy(FailurePolicy::CollectAll).try_run_matrix(&requests);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(results[2].is_ok(), "points after the failure still run");
+        let err = results[1].as_ref().expect_err("the doomed point fails");
+        assert!(matches!(err, RunError::Sim { error: SimError::Deadlock { .. }, .. }), "{err}");
+    }
+
+    #[test]
+    fn fail_fast_skips_unclaimed_points() {
+        let requests = vec![doomed(1), request(2), request(4)];
+        let results = Pool::serial().try_run_matrix(&requests);
+        assert!(results[0].as_ref().is_err_and(RunError::is_root_cause));
+        for later in &results[1..] {
+            let err = later.as_ref().expect_err("fail-fast skips the rest");
+            assert!(matches!(err, RunError::Skipped { .. }), "{err}");
+            assert!(!err.is_root_cause());
+        }
+    }
+
+    #[test]
+    fn retry_still_reports_deterministic_failures() {
+        let requests = vec![doomed(2), request(1)];
+        let results = Pool::serial()
+            .with_policy(FailurePolicy::Retry { attempts: 3 })
+            .try_run_matrix(&requests);
+        // A deterministic failure fails every attempt; retry then behaves
+        // like CollectAll and the healthy point still runs.
+        assert!(results[0].as_ref().is_err_and(RunError::is_root_cause));
+        assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn parallel_try_matrix_matches_serial_under_collect_all() {
+        let requests = vec![request(1), doomed(2), request(4), doomed(8)];
+        let serial =
+            Pool::serial().with_policy(FailurePolicy::CollectAll).try_run_matrix(&requests);
+        let parallel =
+            Pool::new(4).with_policy(FailurePolicy::CollectAll).try_run_matrix(&requests);
+        assert_eq!(format!("{serial:#?}"), format!("{parallel:#?}"));
+    }
+
+    #[test]
+    fn legacy_matrix_panics_with_the_root_cause() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::serial().run_matrix(&[request(1), doomed(2)]);
+        });
+        let payload = result.expect_err("the legacy path panics");
+        let msg = payload.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("sssp under Hints at 2 cores failed:"), "{msg}");
     }
 }

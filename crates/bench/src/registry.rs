@@ -19,8 +19,9 @@ pub struct FigureSpec {
     pub aliases: &'static [&'static str],
     /// One-line description shown by `swarm list`.
     pub about: &'static str,
-    /// The entry point; receives the arguments after the subcommand name.
-    pub run: fn(&[String]),
+    /// The entry point; receives the arguments after the subcommand name
+    /// and returns the process exit code (see [`crate::exit_code`]).
+    pub run: fn(&[String]) -> i32,
 }
 
 /// Every figure/table command, in the order `swarm list` prints them.
@@ -115,6 +116,12 @@ pub const REGISTRY: &[FigureSpec] = &[
         about: "microbenchmark snapshot of the memory-system hot path (writes JSON)",
         run: figures::bench_snapshot::run,
     },
+    FigureSpec {
+        name: "chaos",
+        aliases: &[],
+        about: "fault-injection battery: every fault must fail typed or complete clean",
+        run: figures::chaos::run,
+    },
 ];
 
 /// Look a command up by name or alias.
@@ -123,7 +130,7 @@ pub fn find(name: &str) -> Option<&'static FigureSpec> {
 }
 
 /// Entry point for the legacy shim binaries: forward the process arguments
-/// to the registered command `name`.
+/// to the registered command `name` and exit with its code when nonzero.
 ///
 /// # Panics
 ///
@@ -132,7 +139,10 @@ pub fn find(name: &str) -> Option<&'static FigureSpec> {
 pub fn run_shim(name: &str) {
     let spec = find(name).unwrap_or_else(|| panic!("no registered command named '{name}'"));
     let args: Vec<String> = std::env::args().skip(1).collect();
-    (spec.run)(&args);
+    let code = (spec.run)(&args);
+    if code != crate::exit_code::OK {
+        std::process::exit(code);
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +200,9 @@ mod tests {
         for name in legacy {
             assert!(find(name).is_some(), "{name} missing from the registry");
         }
-        assert_eq!(REGISTRY.len(), 15);
+        // The registry carries the fifteen legacy commands plus `chaos`
+        // (which never had a standalone binary).
+        assert_eq!(REGISTRY.len(), 16);
+        assert!(find("chaos").is_some());
     }
 }

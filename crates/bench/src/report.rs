@@ -5,6 +5,7 @@ use spatial_hints::{AccessClass, AccessClassification};
 use swarm_noc::TrafficClass;
 use swarm_sim::RunStats;
 
+use crate::pool::{ResultCurve, StatsResult};
 use crate::runner::ExperimentPoint;
 
 /// Geometric mean of a slice of positive values (0 if empty).
@@ -38,6 +39,37 @@ pub fn format_speedup_table(series: &[(String, Vec<ExperimentPoint>)]) -> String
     out
 }
 
+/// [`format_speedup_table`] over Result-typed curves: a failed point renders
+/// as an `n/a` cell instead of aborting the figure, and for an all-`Ok`
+/// input the output is byte-identical to the legacy formatter.
+pub fn format_speedup_table_results(series: &[ResultCurve]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>8}", "cores"));
+    for (label, _) in series {
+        out.push_str(&format!("{label:>14}"));
+    }
+    out.push('\n');
+    if let Some((_, first)) = series.first() {
+        for (i, slot) in first.iter().enumerate() {
+            // Every slot knows its core count: a failed one via the request
+            // embedded in its error.
+            let cores = match slot {
+                Ok(point) => point.request.cores,
+                Err(err) => err.request().cores,
+            };
+            out.push_str(&format!("{cores:>8}"));
+            for (_, points) in series {
+                match points.get(i) {
+                    Some(Ok(point)) => out.push_str(&format!("{:>14.2}", point.speedup)),
+                    _ => out.push_str(&format!("{:>14}", "n/a")),
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
 /// Format a cycle-breakdown table normalized to the first entry's total
 /// (the layout of Fig. 2b / Fig. 5a / Fig. 8a / Fig. 11).
 pub fn format_breakdown_table(entries: &[(String, RunStats)]) -> String {
@@ -60,6 +92,42 @@ pub fn format_breakdown_table(entries: &[(String, RunStats)]) -> String {
             norm(b.stall),
             norm(b.empty)
         ));
+    }
+    out
+}
+
+/// [`format_breakdown_table`] over Result-typed rows: a failed row renders
+/// as `n/a` cells. Normalization uses the first `Ok` row's total, so for an
+/// all-`Ok` input the output is byte-identical to the legacy formatter.
+pub fn format_breakdown_table_results(entries: &[(String, StatsResult)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>12}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}\n",
+        "scheduler", "total", "commit", "abort", "spill", "stall", "empty"
+    ));
+    let baseline_total = entries
+        .iter()
+        .find_map(|(_, r)| r.as_ref().ok())
+        .map(|s| s.breakdown.total().max(1))
+        .unwrap_or(1);
+    for (label, result) in entries {
+        match result {
+            Ok(stats) => {
+                let b = stats.breakdown;
+                let norm = |v: u64| v as f64 / baseline_total as f64;
+                out.push_str(&format!(
+                    "{:>12}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>10.3}\n",
+                    label,
+                    norm(b.total()),
+                    norm(b.committed),
+                    norm(b.aborted),
+                    norm(b.spill),
+                    norm(b.stall),
+                    norm(b.empty)
+                ));
+            }
+            Err(_) => out.push_str(&na_row(label, 6, 10)),
+        }
     }
     out
 }
@@ -87,6 +155,51 @@ pub fn format_traffic_table(entries: &[(String, RunStats)]) -> String {
         ));
     }
     out
+}
+
+/// [`format_traffic_table`] over Result-typed rows: a failed row renders as
+/// `n/a` cells, normalization uses the first `Ok` row's total, and an
+/// all-`Ok` input matches the legacy formatter byte for byte.
+pub fn format_traffic_table_results(entries: &[(String, StatsResult)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>12}{:>10}{:>10}{:>10}{:>10}{:>10}\n",
+        "scheduler", "total", "mem", "abort", "task", "gvt"
+    ));
+    let baseline_total = entries
+        .iter()
+        .find_map(|(_, r)| r.as_ref().ok())
+        .map(|s| s.traffic.total().max(1))
+        .unwrap_or(1);
+    for (label, result) in entries {
+        match result {
+            Ok(stats) => {
+                let t = stats.traffic;
+                let norm = |v: u64| v as f64 / baseline_total as f64;
+                out.push_str(&format!(
+                    "{:>12}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>10.3}\n",
+                    label,
+                    norm(t.total()),
+                    norm(t.of(TrafficClass::Memory)),
+                    norm(t.of(TrafficClass::Abort)),
+                    norm(t.of(TrafficClass::Task)),
+                    norm(t.of(TrafficClass::Gvt))
+                ));
+            }
+            Err(_) => out.push_str(&na_row(label, 5, 10)),
+        }
+    }
+    out
+}
+
+/// One table row of `n/a` cells for a failed entry.
+fn na_row(label: &str, columns: usize, width: usize) -> String {
+    let mut row = format!("{label:>12}");
+    for _ in 0..columns {
+        row.push_str(&format!("{:>width$}", "n/a"));
+    }
+    row.push('\n');
+    row
 }
 
 /// Format an access-classification table (Fig. 3 / Fig. 6): fractions per
@@ -162,6 +275,87 @@ mod tests {
         assert!(table.contains("cores"));
         assert!(table.contains("Hints"));
         assert_eq!(table.lines().count(), 3, "header + one row per core count");
+    }
+
+    #[test]
+    fn result_formatters_match_legacy_output_when_everything_passes() {
+        let pool = Pool::new(2);
+        let series =
+            [("Hints".to_string(), AppSpec::coarse(BenchmarkId::Nocsim), Scheduler::Hints)];
+        let curves = pool.speedup_curves(&series, &[1, 4], InputScale::Tiny, 0xF1605);
+        let try_curves = pool.try_speedup_curves(&series, &[1, 4], InputScale::Tiny, 0xF1605);
+        assert_eq!(format_speedup_table(&curves), format_speedup_table_results(&try_curves));
+
+        let entries = vec![(
+            "Random".to_string(),
+            RunRequest::new(
+                AppSpec::coarse(BenchmarkId::Nocsim),
+                Scheduler::Random,
+                4,
+                InputScale::Tiny,
+            ),
+        )];
+        let legacy = pool.run_labeled(entries.clone());
+        let tried = pool.try_run_labeled(entries);
+        assert_eq!(format_breakdown_table(&legacy), format_breakdown_table_results(&tried));
+        assert_eq!(format_traffic_table(&legacy), format_traffic_table_results(&tried));
+    }
+
+    #[test]
+    fn failed_points_render_as_na_cells() {
+        use crate::pool::FailurePolicy;
+        use swarm_sim::{FaultEvent, FaultKind};
+        let doom = FaultEvent { at_cycle: 0, kind: FaultKind::LostTaskWake { ts: 1 } };
+        let pool = Pool::new(2).with_policy(FailurePolicy::CollectAll);
+        let entries = vec![
+            (
+                "Random".to_string(),
+                RunRequest::new(
+                    AppSpec::coarse(BenchmarkId::Nocsim),
+                    Scheduler::Random,
+                    4,
+                    InputScale::Tiny,
+                ),
+            ),
+            (
+                "Hints".to_string(),
+                RunRequest::new(
+                    AppSpec::coarse(BenchmarkId::Nocsim),
+                    Scheduler::Hints,
+                    4,
+                    InputScale::Tiny,
+                )
+                .with_fault(doom),
+            ),
+        ];
+        let tried = pool.try_run_labeled(entries);
+        assert!(tried[1].1.is_err());
+        let b = format_breakdown_table_results(&tried);
+        let hints_row = b.lines().find(|l| l.contains("Hints")).expect("a Hints row");
+        assert_eq!(hints_row.matches("n/a").count(), 6, "{hints_row}");
+        let t = format_traffic_table_results(&tried);
+        let hints_row = t.lines().find(|l| l.contains("Hints")).expect("a Hints row");
+        assert_eq!(hints_row.matches("n/a").count(), 5, "{hints_row}");
+
+        // And a speedup table whose faulted series fails its baseline.
+        let curves = pool.try_speedup_curves(
+            &[("Hints".to_string(), AppSpec::coarse(BenchmarkId::Nocsim), Scheduler::Hints)],
+            &[1, 4],
+            InputScale::Tiny,
+            0xF1605,
+        );
+        let mut curves = curves;
+        let err = crate::runner::RunError::Skipped {
+            request: RunRequest::new(
+                AppSpec::coarse(BenchmarkId::Nocsim),
+                Scheduler::Hints,
+                4,
+                InputScale::Tiny,
+            ),
+        };
+        curves[0].1[1] = Err(err);
+        let table = format_speedup_table_results(&curves);
+        assert!(table.lines().nth(2).expect("4-core row").contains("n/a"), "{table}");
     }
 
     #[test]

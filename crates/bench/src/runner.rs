@@ -1,8 +1,11 @@
 //! Running one (benchmark, scheduler, core count) point and sweeps thereof.
 
+use std::fmt;
+
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, InputScale};
-use swarm_sim::{RunStats, Sim};
+use swarm_sim::{BuildError, FaultEvent, FaultPlan, RunStats, Sim};
+use swarm_types::SimError;
 
 /// Everything needed to run one simulation point.
 ///
@@ -21,14 +24,101 @@ pub struct RunRequest {
     /// Workload seed (the same seed produces the same input for every
     /// scheduler and core count, as the paper's methodology requires).
     pub seed: u64,
+    /// Optional deterministic fault to inject into the run (see
+    /// [`swarm_sim::fault`]). `None` — the case for every figure sweep —
+    /// leaves the simulation byte-identical to a fault-free build; the
+    /// chaos/robustness suites set it to stress the pipeline.
+    pub fault: Option<FaultEvent>,
 }
 
 impl RunRequest {
-    /// A convenience constructor with the default seed.
+    /// A convenience constructor with the default seed and no fault.
     pub fn new(spec: AppSpec, scheduler: Scheduler, cores: u32, scale: InputScale) -> Self {
-        RunRequest { spec, scheduler, cores, scale, seed: 0xF1605 }
+        RunRequest { spec, scheduler, cores, scale, seed: 0xF1605, fault: None }
+    }
+
+    /// The same request with `fault` injected into the run.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultEvent) -> Self {
+        self.fault = Some(fault);
+        self
     }
 }
+
+/// Why one simulation point has no statistics: the typed, per-point failure
+/// the pool records instead of tearing the whole process down (see
+/// [`crate::FailurePolicy`]). Every variant carries the offending request, so
+/// reports can name the exact point, and `Display` mirrors the harness's
+/// historical panic messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The request does not describe a valid simulation.
+    InvalidPoint {
+        /// The offending request.
+        request: RunRequest,
+        /// What the builder rejected.
+        error: BuildError,
+    },
+    /// The simulation ran but failed with a typed error (validation
+    /// mismatch, deadlock, budget overrun, ...).
+    Sim {
+        /// The offending request.
+        request: RunRequest,
+        /// The simulator's error.
+        error: SimError,
+    },
+    /// The simulation panicked (a bug in an app or the engine, surfaced as
+    /// a value instead of unwinding through the pool).
+    Panicked {
+        /// The offending request.
+        request: RunRequest,
+        /// Best-effort panic message.
+        message: String,
+    },
+    /// The point was never run: an earlier failure aborted the matrix under
+    /// [`crate::FailurePolicy::FailFast`].
+    Skipped {
+        /// The request that was not run.
+        request: RunRequest,
+    },
+}
+
+impl RunError {
+    /// The request the failure belongs to.
+    pub fn request(&self) -> &RunRequest {
+        match self {
+            RunError::InvalidPoint { request, .. }
+            | RunError::Sim { request, .. }
+            | RunError::Panicked { request, .. }
+            | RunError::Skipped { request } => request,
+        }
+    }
+
+    /// Whether this error is a root cause (as opposed to a point skipped as
+    /// a *consequence* of another point's failure).
+    pub fn is_root_cause(&self) -> bool {
+        !matches!(self, RunError::Skipped { .. })
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.request();
+        let at = format!("{} under {} at {} cores", r.spec.name(), r.scheduler, r.cores);
+        match self {
+            RunError::InvalidPoint { error, .. } => {
+                write!(f, "{at} is not a valid simulation: {error}")
+            }
+            RunError::Sim { error, .. } => write!(f, "{at} failed: {error}"),
+            RunError::Panicked { message, .. } => write!(f, "{at} panicked: {message}"),
+            RunError::Skipped { .. } => {
+                write!(f, "{at} was skipped after an earlier failure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// One measured point of a sweep.
 #[derive(Debug, Clone)]
@@ -60,31 +150,42 @@ pub fn run_app_profiled(request: RunRequest) -> RunStats {
     run_point(request, true)
 }
 
-/// Shared single-point entry used by both the serial helpers above and the
-/// thread-pool workers in [`crate::Pool`].
+/// Shared single-point entry used by the serial helpers above and legacy
+/// callers that want the historical panic-on-failure behavior.
 pub(crate) fn run_point(request: RunRequest, profiled: bool) -> RunStats {
-    let mut engine = Sim::builder()
-        .cores(request.cores)
-        .app_boxed(request.spec.build(request.scale, request.seed))
-        .scheduler(request.scheduler)
-        .profiling(profiled)
-        .build()
-        .unwrap_or_else(|e| {
-            panic!(
-                "{} under {} at {} cores is not a valid simulation: {e}",
-                request.spec.name(),
-                request.scheduler,
-                request.cores
-            )
-        });
-    engine.run().unwrap_or_else(|e| {
-        panic!(
-            "{} under {} at {} cores failed: {e}",
-            request.spec.name(),
-            request.scheduler,
-            request.cores
-        )
-    })
+    run_point_result(request, profiled).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run one point, converting every failure mode — an invalid description, a
+/// typed simulator error, even a panic inside the app or engine — into a
+/// structured [`RunError`] instead of unwinding.
+pub fn run_point_result(request: RunRequest, profiled: bool) -> Result<RunStats, RunError> {
+    let guarded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut builder = Sim::builder()
+            .cores(request.cores)
+            .app_boxed(request.spec.build(request.scale, request.seed))
+            .scheduler(request.scheduler)
+            .profiling(profiled);
+        if let Some(fault) = request.fault {
+            builder = builder.fault_plan(FaultPlan::from(fault));
+        }
+        let mut engine =
+            builder.build().map_err(|error| RunError::InvalidPoint { request, error })?;
+        engine.run().map_err(|error| RunError::Sim { request, error })
+    }));
+    match guarded {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "<non-string panic payload>".to_string()
+            };
+            Err(RunError::Panicked { request, message })
+        }
+    }
 }
 
 /// Sweep core counts for one app/scheduler and return speedups relative to
@@ -100,11 +201,11 @@ pub fn speedup_curve(
     scale: InputScale,
     seed: u64,
 ) -> Vec<ExperimentPoint> {
-    let baseline = run_app(RunRequest { spec, scheduler, cores: 1, scale, seed });
+    let baseline = run_app(RunRequest { spec, scheduler, cores: 1, scale, seed, fault: None });
     core_counts
         .iter()
         .map(|&cores| {
-            let request = RunRequest { spec, scheduler, cores, scale, seed };
+            let request = RunRequest { spec, scheduler, cores, scale, seed, fault: None };
             let stats = if cores == 1 { baseline.clone() } else { run_app(request) };
             let speedup = stats.speedup_over(&baseline);
             ExperimentPoint { request, stats, speedup }
@@ -138,6 +239,54 @@ mod tests {
             InputScale::Tiny,
         ));
         assert!(!stats.committed_accesses.is_empty());
+    }
+
+    #[test]
+    fn run_point_result_reports_typed_failures_without_panicking() {
+        use swarm_sim::{FaultEvent, FaultKind};
+        use swarm_types::SimError;
+        // A lost task wake wedges the run; the Result path must hand back a
+        // typed Sim error naming the point, not unwind.
+        let request = RunRequest::new(
+            AppSpec::coarse(BenchmarkId::Sssp),
+            Scheduler::Hints,
+            4,
+            InputScale::Tiny,
+        )
+        .with_fault(FaultEvent { at_cycle: 0, kind: FaultKind::LostTaskWake { ts: 1 } });
+        let err = run_point_result(request, false).expect_err("a lost wake must fail");
+        assert!(matches!(&err, RunError::Sim { error: SimError::Deadlock { .. }, .. }), "{err}");
+        assert_eq!(err.request(), &request);
+        assert!(err.is_root_cause());
+        let msg = err.to_string();
+        assert!(msg.contains("sssp under Hints at 4 cores failed:"), "{msg}");
+    }
+
+    #[test]
+    fn run_errors_display_like_the_legacy_panics() {
+        let request = RunRequest::new(
+            AppSpec::coarse(BenchmarkId::Des),
+            Scheduler::Random,
+            8,
+            InputScale::Tiny,
+        );
+        let cases: Vec<(RunError, &str)> = vec![
+            (
+                RunError::InvalidPoint { request, error: swarm_sim::BuildError::ZeroTaskLimit },
+                "is not a valid simulation:",
+            ),
+            (
+                RunError::Sim { request, error: swarm_types::SimError::TaskLimitExceeded(10) },
+                "failed:",
+            ),
+            (RunError::Panicked { request, message: "boom".into() }, "panicked: boom"),
+            (RunError::Skipped { request }, "skipped"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.starts_with("des under Random at 8 cores"), "{msg}");
+            assert!(msg.contains(needle), "{msg}");
+        }
     }
 
     #[test]

@@ -57,6 +57,7 @@ use swarm_types::SystemConfig;
 
 use crate::app::SwarmApp;
 use crate::engine::Engine;
+use crate::fault::FaultPlan;
 use crate::mapper::TaskMapper;
 use crate::observer::SimObserver;
 
@@ -162,6 +163,7 @@ pub struct SimBuilder {
     profiling: bool,
     validation: bool,
     task_limit: Option<u64>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl SimBuilder {
@@ -237,6 +239,14 @@ impl SimBuilder {
         self
     }
 
+    /// Inject a deterministic [`FaultPlan`] (see [`crate::fault`]): each
+    /// event fires at its exact cycle, before any same-cycle engine work.
+    /// An empty plan is equivalent to not calling this at all.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Validate the description and construct the [`Engine`].
     ///
     /// # Errors
@@ -279,6 +289,9 @@ impl SimBuilder {
         if let Some(limit) = self.task_limit {
             engine.set_task_limit(limit);
         }
+        if let Some(plan) = self.fault_plan {
+            engine.set_fault_plan(plan);
+        }
         for observer in self.observers {
             engine.add_observer(observer);
         }
@@ -297,6 +310,7 @@ impl fmt::Debug for SimBuilder {
             .field("profiling", &self.profiling)
             .field("validation", &self.validation)
             .field("task_limit", &self.task_limit)
+            .field("fault_plan", &self.fault_plan)
             .finish()
     }
 }
@@ -312,6 +326,7 @@ impl Default for SimBuilder {
             profiling: false,
             validation: true,
             task_limit: None,
+            fault_plan: None,
         }
     }
 }
@@ -409,6 +424,34 @@ mod tests {
 
         let err = Sim::builder().cores(0).app(OneTask).mapper(round_robin()).build().err().unwrap();
         assert!(matches!(err, BuildError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn fault_plans_ride_through_the_builder() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+        use swarm_types::SimError;
+        // A lost wake planted at cycle 0 must surface as a typed deadlock.
+        let plan =
+            FaultPlan::from(FaultEvent { at_cycle: 0, kind: FaultKind::LostTaskWake { ts: 3 } });
+        let mut engine = Sim::builder()
+            .cores(4)
+            .app(OneTask)
+            .mapper(round_robin())
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        let err = engine.run().expect_err("a lost wake must deadlock");
+        assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+
+        // An empty plan changes nothing.
+        let mut engine = Sim::builder()
+            .cores(4)
+            .app(OneTask)
+            .mapper(round_robin())
+            .fault_plan(FaultPlan::new())
+            .build()
+            .unwrap();
+        assert_eq!(engine.run().unwrap().tasks_committed, 1);
     }
 
     #[test]

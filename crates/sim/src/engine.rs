@@ -28,8 +28,9 @@ use swarm_types::{CoreId, Hint, SimError, SimResult, SystemConfig, TaskId, TileI
 
 use crate::app::{ExecutionOutcome, SwarmApp, TaskCtx};
 use crate::event_queue::TimingWheel;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::mapper::TaskMapper;
-use crate::observer::{CoreWaitEvent, DequeueEvent, SimObserver, WaitKind};
+use crate::observer::{CoreWaitEvent, DequeueEvent, FaultInjectedEvent, SimObserver, WaitKind};
 use crate::state::{CoreState, SimState};
 use crate::stats::RunStats;
 use crate::task::{OrderKey, PendingChild, TaskDescriptor, TaskStatus};
@@ -53,6 +54,8 @@ enum Event {
     Gvt,
     /// Periodic load-balancer reconfiguration opportunity.
     LbEpoch,
+    /// Execute the fault-plan event at this index (see [`FaultPlan`]).
+    Fault(u32),
 }
 
 /// The simulation engine. Construct one per run — most callers go through
@@ -74,6 +77,12 @@ pub struct Engine {
     /// the state: the run is deadlocked (see [`SimError::Deadlock`]).
     pending_core_events: u64,
     validate_result: bool,
+    /// The fault plan to execute, if any (see [`crate::fault`]). `None`
+    /// leaves every fault hook a constant-false branch.
+    fault_plan: Option<FaultPlan>,
+    /// Wall-clock anchor for the `max_wall_ms` budget; captured at
+    /// [`Engine::run`] entry only when that budget is configured.
+    wall_start: Option<std::time::Instant>,
     /// Scratch for per-tile idle counts handed to the mapper.
     idle_scratch: Vec<usize>,
     /// Scratch for the GVT commit walk (keys of committable tasks).
@@ -108,6 +117,8 @@ impl Engine {
             pending_children: vec![Vec::new(); num_cores],
             pending_core_events: 0,
             validate_result: true,
+            fault_plan: None,
+            wall_start: None,
             idle_scratch: Vec::new(),
             commit_scratch: Vec::new(),
             wake_scratch: Vec::new(),
@@ -141,14 +152,24 @@ impl Engine {
         self
     }
 
-    /// Fault injection for tests: plant a task that is registered as
-    /// remaining work but has no task-queue entry and no pending wake — the
-    /// "lost wake" fault class the deadlock detector exists for. A healthy
-    /// engine cannot reach this state through the public API (every enqueue
-    /// wakes its tile), so [`Engine::run`] on a faulted engine must
-    /// terminate with [`SimError::Deadlock`] once all healthy work drains,
-    /// counting the planted task in `remaining`. Call before [`Engine::run`].
+    /// Fault injection hook: plant a task that is registered as remaining
+    /// work but has no task-queue entry and no pending wake — the "lost
+    /// wake" fault class the deadlock detector exists for. A healthy engine
+    /// cannot reach this state through the public API (every enqueue wakes
+    /// its tile), so [`Engine::run`] on a faulted engine must terminate
+    /// with [`SimError::Deadlock`] once all healthy work drains, counting
+    /// the planted task in `remaining`. Call before [`Engine::run`], or let
+    /// a [`FaultPlan`] with [`FaultKind::LostTaskWake`] invoke it mid-run
+    /// at a deterministic cycle.
     pub fn inject_lost_task(&mut self, ts: u64) -> &mut Self {
+        self.plant_lost_task(ts);
+        self
+    }
+
+    fn plant_lost_task(&mut self, ts: Timestamp) {
+        // Drop only the wake this add produces (if any): pre-existing wakes
+        // belong to healthy work and must survive a mid-run injection.
+        let wakes_before = self.state.wake_tiles.len();
         let desc = TaskDescriptor {
             fid: 0,
             ts,
@@ -162,7 +183,14 @@ impl Engine {
         let lost = self.state.add_task(desc);
         let key = self.state.tasks.key(lost);
         self.state.tiles[0].idle.remove(&key);
-        self.state.wake_tiles.clear();
+        self.state.wake_tiles.truncate(wakes_before);
+    }
+
+    /// Attach a deterministic [`FaultPlan`]; its events are scheduled into
+    /// the event queue when [`Engine::run`] starts. Prefer
+    /// [`crate::SimBuilder::fault_plan`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault_plan = (!plan.is_empty()).then_some(plan);
         self
     }
 
@@ -201,6 +229,14 @@ impl Engine {
         let lb_epoch = self.state.cfg.lb_epoch;
         self.events.schedule(gvt_epoch, Event::Gvt);
         self.events.schedule(lb_epoch, Event::LbEpoch);
+        // Schedule every planned fault at its exact cycle; same-cycle plan
+        // entries fire in plan order (the wheel's FIFO slot contract).
+        if let Some(plan) = &self.fault_plan {
+            for (i, fault) in plan.events().iter().enumerate() {
+                self.events.schedule(fault.at_cycle, Event::Fault(i as u32));
+            }
+        }
+        self.wall_start = (self.state.cfg.max_wall_ms > 0).then(std::time::Instant::now);
 
         while self.state.remaining_tasks > 0 {
             let Some((at, event)) = self.events.pop() else {
@@ -208,7 +244,7 @@ impl Engine {
                 // make progress again. (Normally unreachable: the GVT event
                 // reschedules itself while tasks remain, and reports the
                 // deadlock itself when the system quiesces.)
-                return Err(SimError::Deadlock { remaining: self.state.remaining_tasks });
+                return Err(self.deadlock_error());
             };
             self.now = at.max(self.now);
             match event {
@@ -222,6 +258,7 @@ impl Engine {
                 }
                 Event::Gvt => self.handle_gvt()?,
                 Event::LbEpoch => self.handle_lb_epoch(),
+                Event::Fault(index) => self.handle_fault(index as usize),
             }
             if self.executed_bodies > self.task_limit {
                 return Err(SimError::TaskLimitExceeded(self.task_limit));
@@ -260,6 +297,100 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // Fault execution and failure diagnostics
+    // ------------------------------------------------------------------
+
+    /// Execute the plan's `index`-th fault at the current cycle. One-shot
+    /// faults act immediately; persistent ones flip a switch in the state's
+    /// [`crate::fault::FaultRuntime`] that the affected paths consult.
+    fn handle_fault(&mut self, index: usize) {
+        let fault = self.fault_plan.as_ref().expect("fault event without a plan").events()[index];
+        self.state.observers.fault_injected(&FaultInjectedEvent { index, fault, cycle: self.now });
+        match fault.kind {
+            FaultKind::LostTaskWake { ts } => self.plant_lost_task(ts),
+            FaultKind::DelayedMessage { tile, extra_cycles } => {
+                self.state.faults.delayed = Some((tile, extra_cycles));
+            }
+            FaultKind::DuplicateMessage => self.state.faults.duplicate_next = true,
+            FaultKind::QueueSqueeze { tile, capacity } => {
+                self.state.faults.squeeze = Some((tile, capacity));
+            }
+            FaultKind::StuckCore { core } => self.state.faults.stuck = Some(core),
+            FaultKind::AbortStorm => self.abort_storm(),
+            FaultKind::CorruptHint { xor } => self.state.faults.hint_xor = Some(xor),
+        }
+        self.process_wakes();
+    }
+
+    /// Abort every live speculative task once, walking tiles in index order
+    /// so the storm is deterministic. Each abort runs the normal cascade;
+    /// requeued tasks re-execute, so the run still completes.
+    fn abort_storm(&mut self) {
+        let mut victims: Vec<TaskId> = Vec::new();
+        for tile in &self.state.tiles {
+            victims.extend(tile.running.iter().copied());
+            victims.extend(tile.finished.iter().map(|&(_, id)| id));
+        }
+        for victim in victims {
+            // Earlier storm aborts may already have cascaded into this one.
+            if self.state.tasks.key_is_live_for_abort(victim) {
+                let tile = self.state.tasks.tile(victim);
+                self.state.abort_task(victim, tile);
+            }
+        }
+    }
+
+    /// Build the enriched deadlock diagnosis: scan the arena for the
+    /// outstanding task with the minimum `(ts, id)` order key. The arena
+    /// scan (rather than [`SimState::gvt`]) is deliberate — a lost task
+    /// sits in no per-tile structure, so only the arena still sees it.
+    fn deadlock_error(&self) -> SimError {
+        let mut min: Option<OrderKey> = None;
+        for i in 0..self.state.tasks.len() {
+            let id = TaskId(i as u64);
+            if !self.state.tasks.status(id).is_terminal() {
+                let key = self.state.tasks.key(id);
+                if min.is_none_or(|m| key < m) {
+                    min = Some(key);
+                }
+            }
+        }
+        let (min_ts, stuck_task) = min.unwrap_or((0, TaskId(0)));
+        SimError::Deadlock { remaining: self.state.remaining_tasks, min_ts, stuck_task }
+    }
+
+    /// Cheap per-GVT-epoch budget watchdogs (see `SystemConfig::max_cycles`
+    /// and `SystemConfig::max_wall_ms`).
+    fn check_budgets(&self) -> SimResult<()> {
+        let last_gvt = || self.state.gvt().map_or(self.now, |(ts, _)| ts);
+        let max_cycles = self.state.cfg.max_cycles;
+        if max_cycles > 0 && self.now > max_cycles {
+            return Err(SimError::CycleBudgetExceeded {
+                budget: max_cycles,
+                cycle: self.now,
+                remaining: self.state.remaining_tasks,
+                last_gvt: last_gvt(),
+            });
+        }
+        let max_wall_ms = self.state.cfg.max_wall_ms;
+        if max_wall_ms > 0 {
+            if let Some(start) = self.wall_start {
+                let elapsed_ms = start.elapsed().as_millis() as u64;
+                if elapsed_ms > max_wall_ms {
+                    return Err(SimError::WallClockBudgetExceeded {
+                        budget_ms: max_wall_ms,
+                        elapsed_ms,
+                        cycle: self.now,
+                        remaining: self.state.remaining_tasks,
+                        last_gvt: last_gvt(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Task creation
     // ------------------------------------------------------------------
 
@@ -284,7 +415,12 @@ impl Engine {
                 return Err(SimError::TimestampRegression { parent: pts, child: ts });
             }
         }
-        let resolved = hint.resolve(parent_hint);
+        let resolved = match (self.state.faults.hint_xor, hint.resolve(parent_hint)) {
+            // An active CorruptHint fault flips bits in every concrete hint
+            // value; placement degrades, correctness must not.
+            (Some(xor), Hint::Value(v)) => Hint::Value(v ^ xor),
+            (_, resolved) => resolved,
+        };
         let num_tiles = self.state.cfg.num_tiles();
         let tile = match (resolved, parent_tile) {
             // SAMEHINT with no usable parent hint stays on the parent's tile,
@@ -398,6 +534,11 @@ impl Engine {
 
     fn handle_try_dispatch(&mut self, core: CoreId) -> SimResult<()> {
         if matches!(self.state.cores[core.index()], CoreState::Busy { .. }) {
+            return Ok(());
+        }
+        // A stuck core never dequeues again; if no other core can absorb
+        // its work the deadlock detector reports the starvation.
+        if self.state.faults.is_stuck(core) {
             return Ok(());
         }
         let tile = self.state.tile_of_core(core);
@@ -563,6 +704,7 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn handle_gvt(&mut self) -> SimResult<()> {
+        self.check_budgets()?;
         self.state.observers.gvt_update(self.now);
         // Each tile exchanges a GVT update with the arbiter (tile 0).
         let arbiter = TileId(0);
@@ -646,7 +788,7 @@ impl Engine {
             // system can never progress. Report it instead of spinning on
             // periodic events forever.
             if self.pending_core_events == 0 {
-                return Err(SimError::Deadlock { remaining: self.state.remaining_tasks });
+                return Err(self.deadlock_error());
             }
             self.events.schedule(self.now + self.state.cfg.spec.gvt_epoch, Event::Gvt);
         }
@@ -698,7 +840,14 @@ mod tests {
         engine.inject_lost_task(99);
 
         let err = engine.run().expect_err("a lost task must be detected, not spun on");
-        assert_eq!(err, SimError::Deadlock { remaining: 1 });
+        // The diagnosis names the wedged work: the planted task (id 0,
+        // planted before the app's own task) at its timestamp.
+        let SimError::Deadlock { remaining, min_ts, stuck_task } = err else {
+            panic!("expected a deadlock, got {err}");
+        };
+        assert_eq!(remaining, 1);
+        assert_eq!(min_ts, 99);
+        assert_eq!(stuck_task, TaskId(0));
     }
 
     #[test]
@@ -706,6 +855,93 @@ mod tests {
         let mut engine =
             Engine::new(SystemConfig::single_core(), Box::new(OneShot), Box::new(PinnedMapper));
         let stats = engine.run().expect("one task runs to completion");
+        assert_eq!(stats.tasks_committed, 1);
+    }
+
+    /// A livelocked program: every task enqueues a successor forever.
+    struct Endless;
+
+    impl SwarmApp for Endless {
+        fn name(&self) -> &str {
+            "endless"
+        }
+        fn initial_tasks(&self) -> Vec<InitialTask> {
+            vec![InitialTask::new(0, 0, Hint::None, vec![])]
+        }
+        fn run_task(&self, _fid: u16, ts: u64, _args: &[u64], ctx: &mut TaskCtx<'_>) {
+            ctx.write(0x1000, ts);
+            ctx.enqueue(0, ts + 1, Hint::None, vec![]);
+        }
+    }
+
+    #[test]
+    fn livelocked_app_hits_the_cycle_budget_deterministically() {
+        let run = || {
+            let mut cfg = SystemConfig::single_core();
+            cfg.max_cycles = 10_000;
+            let mut engine = Engine::new(cfg, Box::new(Endless), Box::new(PinnedMapper));
+            engine.run().expect_err("an endless chain must trip the cycle budget")
+        };
+        let first = run();
+        let SimError::CycleBudgetExceeded { budget, cycle, remaining, .. } = first.clone() else {
+            panic!("expected a cycle-budget error, got {first}");
+        };
+        assert_eq!(budget, 10_000);
+        assert!(cycle > 10_000, "detected past the budget, got {cycle}");
+        assert!(remaining > 0);
+        // The watchdog fires at a GVT epoch, so the whole diagnosis —
+        // including the trip cycle — is reproducible.
+        assert_eq!(first, run());
+    }
+
+    #[test]
+    fn livelocked_app_hits_the_wall_clock_budget() {
+        let mut cfg = SystemConfig::single_core();
+        cfg.max_wall_ms = 1;
+        let mut engine = Engine::new(cfg, Box::new(Endless), Box::new(PinnedMapper));
+        let err = engine.run().expect_err("an endless chain must trip the wall-clock budget");
+        assert!(
+            matches!(err, SimError::WallClockBudgetExceeded { budget_ms: 1, .. }),
+            "expected a wall-clock budget error, got {err}"
+        );
+    }
+
+    #[test]
+    fn budgets_do_not_trip_on_healthy_runs() {
+        let mut cfg = SystemConfig::single_core();
+        cfg.max_cycles = 1_000_000;
+        cfg.max_wall_ms = 60_000;
+        let mut engine = Engine::new(cfg, Box::new(OneShot), Box::new(PinnedMapper));
+        let stats = engine.run().expect("well under both budgets");
+        assert_eq!(stats.tasks_committed, 1);
+    }
+
+    #[test]
+    fn fault_plan_lost_wake_matches_the_direct_hook() {
+        // The plan-driven lost wake reports the same typed diagnosis as the
+        // pre-run hook (planted later, so ids differ, but the class and the
+        // outstanding count match).
+        use crate::fault::{FaultEvent, FaultPlan};
+        let mut engine =
+            Engine::new(SystemConfig::single_core(), Box::new(OneShot), Box::new(PinnedMapper));
+        engine.set_fault_plan(FaultPlan::from(FaultEvent {
+            at_cycle: 0,
+            kind: FaultKind::LostTaskWake { ts: 7 },
+        }));
+        let err = engine.run().expect_err("the planted task can never run");
+        assert!(
+            matches!(err, SimError::Deadlock { remaining: 1, min_ts: 7, .. }),
+            "expected a deadlock on the planted task, got {err}"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_no_op() {
+        use crate::fault::FaultPlan;
+        let mut engine =
+            Engine::new(SystemConfig::single_core(), Box::new(OneShot), Box::new(PinnedMapper));
+        engine.set_fault_plan(FaultPlan::new());
+        let stats = engine.run().expect("an empty plan injects nothing");
         assert_eq!(stats.tasks_committed, 1);
     }
 }

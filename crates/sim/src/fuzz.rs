@@ -22,13 +22,22 @@
 //! The workspace-root `tests/fuzz.rs` drives this strategy through all four
 //! paper schedulers; failures shrink to minimal scenarios via the proptest
 //! shim's stream shrinker and are committed as named regression tests.
+//!
+//! The module also fuzzes the *fault* dimension: [`fault_plan`] samples
+//! random [`FaultPlan`]s across the whole [`FaultKind`] family, and
+//! [`check_scenario_with_faults`] runs a sampled scenario under a sampled
+//! plan through the chaos contract ([`crate::chaos::check_plan`]): the
+//! faulted run must complete `validate()`-clean or fail with a typed error,
+//! identically on a repeat — never hang, panic, or silently corrupt.
 
 use proptest::collection::vec;
 use proptest::{any, Strategy};
 use swarm_mem::{AddressSpace, Region, SimMemory};
-use swarm_types::{Hint, SystemConfig, TaskFnId, Timestamp};
+use swarm_types::{CoreId, Hint, SystemConfig, TaskFnId, TileId, Timestamp};
 
+use crate::chaos::{check_plan, ChaosOptions, PlanCombo};
 use crate::conformance::{check_app, ConformanceOptions, ConformanceReport, MapperSpec};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::{InitialTask, SwarmApp, TaskCtx};
 
 /// Upper bound on tasks per sampled scenario; kept small so a fuzz run can
@@ -139,6 +148,8 @@ pub struct ScenarioApp {
 }
 
 impl ScenarioApp {
+    /// Resolve a sampled spec into a runnable app (allocates its cell
+    /// region, precomputes the child lists and the expected final memory).
     pub fn new(spec: ScenarioSpec) -> Self {
         let mut space = AddressSpace::new();
         let cells = space.alloc_array("cells", spec.cells as u64);
@@ -248,6 +259,63 @@ pub fn check_scenario(
     check_app(&make, mappers, &opts)
 }
 
+/// Raw per-event draw for [`fault_plan`]: `(cycle, kind selector, two
+/// parameter draws)`.
+type RawFault = (u64, u64, u64, u64);
+
+/// The fault-plan strategy: one to three events across the full
+/// [`FaultKind`] family, at cycles early enough to land inside the short
+/// runs [`scenario`] produces. Out-of-range tile/core targets are legal —
+/// the runtime switches compare by identity, so a fault aimed at hardware
+/// the machine does not have is simply inert.
+pub fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+    vec((0u64..1500, 0u64..7, 0u64..16, 1u64..8), 1..4).prop_map(|raw: Vec<RawFault>| {
+        let mut plan = FaultPlan::new();
+        for (at_cycle, kind_sel, a, b) in raw {
+            let kind = match kind_sel {
+                0 => FaultKind::LostTaskWake { ts: a },
+                1 => {
+                    FaultKind::DelayedMessage { tile: TileId(a as u32 % 4), extra_cycles: b as u32 }
+                }
+                2 => FaultKind::DuplicateMessage,
+                3 => FaultKind::QueueSqueeze { tile: TileId(a as u32 % 4), capacity: b as u16 },
+                4 => FaultKind::StuckCore { core: CoreId(a as u32) },
+                5 => FaultKind::AbortStorm,
+                _ => FaultKind::CorruptHint { xor: 0x5A5A_0000 | a },
+            };
+            plan.push(FaultEvent { at_cycle, kind });
+        }
+        plan
+    })
+}
+
+/// Run one sampled scenario under one sampled fault plan through the chaos
+/// contract for every mapper × core count, honoring the spec's pressure
+/// bit. Every battery run carries a cycle-budget watchdog, so a fault that
+/// would wedge the run surfaces as a typed error instead of a hang.
+///
+/// # Errors
+///
+/// Propagates the first chaos-contract violation, naming the mapper, core
+/// count and plan (see [`check_plan`]).
+pub fn check_scenario_with_faults(
+    spec: &ScenarioSpec,
+    plan: &FaultPlan,
+    mappers: &[MapperSpec<'_>],
+    core_counts: &[u32],
+) -> Result<Vec<PlanCombo>, String> {
+    let opts = ChaosOptions {
+        core_counts: core_counts.to_vec(),
+        config: if spec.pressure { pressured_config } else { SystemConfig::with_cores },
+        // Scenarios are at most MAX_TASKS tiny tasks; a run that is still
+        // going after this many cycles is wedged, not slow.
+        max_cycles: 2_000_000,
+    };
+    let spec = spec.clone();
+    let make = move || -> Box<dyn SwarmApp> { Box::new(ScenarioApp::new(spec.clone())) };
+    check_plan(&make, mappers, plan, &opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +371,39 @@ mod tests {
             rng.begin_case();
             let spec = strat.generate(&mut rng);
             check_scenario(&spec, &mappers, &[1, 4]).expect("sampled scenario must conform");
+        }
+    }
+
+    #[test]
+    fn sampled_fault_plans_satisfy_the_chaos_contract_under_round_robin() {
+        let scenarios = scenario();
+        let plans = fault_plan();
+        let mut rng = test_rng("fuzz-fault-smoke");
+        let mappers = round_robin();
+        for _ in 0..15 {
+            rng.begin_case();
+            let spec = scenarios.generate(&mut rng);
+            let plan = plans.generate(&mut rng);
+            check_scenario_with_faults(&spec, &plan, &mappers, &[1, 4])
+                .unwrap_or_else(|e| panic!("plan [{plan}] broke the chaos contract: {e}"));
+        }
+    }
+
+    #[test]
+    fn sampled_fault_plans_cover_the_whole_family() {
+        let plans = fault_plan();
+        let mut rng = test_rng("fuzz-fault-coverage");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            rng.begin_case();
+            for event in plans.generate(&mut rng).events() {
+                seen.insert(event.kind.name());
+            }
+        }
+        for kind in
+            ["lost-wake", "delay", "duplicate", "squeeze", "stuck", "abort-storm", "corrupt-hint"]
+        {
+            assert!(seen.contains(kind), "strategy never sampled {kind}");
         }
     }
 

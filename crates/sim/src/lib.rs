@@ -56,13 +56,17 @@
 //! assert_eq!(engine.state().mem.load(0x1000), 45);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod app;
 pub mod arena;
 pub mod bloom;
 pub mod builder;
+pub mod chaos;
 pub mod conformance;
 pub mod engine;
 pub mod event_queue;
+pub mod fault;
 pub mod fuzz;
 pub mod key_list;
 pub mod line_table;
@@ -78,12 +82,13 @@ pub use bloom::BloomFilter;
 pub use builder::{BuildError, MapperFactory, Sim, SimBuilder};
 pub use engine::{Engine, DEFAULT_TASK_LIMIT};
 pub use event_queue::{TimingWheel, WHEEL_SLOTS};
+pub use fault::{standard_faults, FaultEvent, FaultKind, FaultParseError, FaultPlan};
 pub use key_list::KeyList;
 pub use line_table::{LineAccessors, LineTable};
 pub use mapper::{PinnedMapper, RoundRobinMapper, TaskMapper};
 pub use observer::{
-    AbortEvent, CommitEvent, CoreWaitEvent, DequeueEvent, NetworkEvent, ObserverHub, SimObserver,
-    SpillDirection, SpillEvent, StatsObserver, WaitKind,
+    AbortEvent, CommitEvent, CoreWaitEvent, DequeueEvent, FaultInjectedEvent, NetworkEvent,
+    ObserverHub, SimObserver, SpillDirection, SpillEvent, StatsObserver, WaitKind,
 };
 pub use state::{CoreState, SimState, TileState};
 pub use stats::{CommittedTaskAccesses, CycleBreakdown, RunStats};

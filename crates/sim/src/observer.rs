@@ -188,6 +188,17 @@ pub struct CoreWaitEvent {
     pub cycles: u64,
 }
 
+/// A planned fault was executed by the engine (see [`crate::fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInjectedEvent {
+    /// Index of the fault within its [`crate::FaultPlan`].
+    pub index: usize,
+    /// The fault that was injected.
+    pub fault: crate::fault::FaultEvent,
+    /// Simulation cycle at which it fired.
+    pub cycle: u64,
+}
+
 /// Hooks into the simulation's event stream.
 ///
 /// All methods default to no-ops, so an observer implements only the events
@@ -223,6 +234,11 @@ pub trait SimObserver {
     /// The load balancer reconfigured its hint-to-tile mapping at `now`.
     fn on_lb_reconfig(&mut self, _now: u64) {}
 
+    /// A planned fault was injected (see [`crate::SimBuilder::fault_plan`]),
+    /// letting observers correlate faults with downstream aborts, spills and
+    /// timing shifts.
+    fn on_fault_injected(&mut self, _event: &FaultInjectedEvent) {}
+
     /// The run completed; `stats` is the final statistics object.
     fn on_run_end(&mut self, _stats: &RunStats) {}
 }
@@ -253,6 +269,9 @@ impl<T: SimObserver> SimObserver for std::rc::Rc<std::cell::RefCell<T>> {
     }
     fn on_lb_reconfig(&mut self, now: u64) {
         self.borrow_mut().on_lb_reconfig(now);
+    }
+    fn on_fault_injected(&mut self, event: &FaultInjectedEvent) {
+        self.borrow_mut().on_fault_injected(event);
     }
     fn on_run_end(&mut self, stats: &RunStats) {
         self.borrow_mut().on_run_end(stats);
@@ -483,6 +502,11 @@ impl ObserverHub {
     #[inline]
     pub(crate) fn core_wait(&mut self, event: &CoreWaitEvent) {
         fan_out!(self, on_core_wait, event);
+    }
+
+    #[inline]
+    pub(crate) fn fault_injected(&mut self, event: &FaultInjectedEvent) {
+        fan_out!(self, on_fault_injected, event);
     }
 
     #[inline]

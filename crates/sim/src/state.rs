@@ -17,6 +17,7 @@ use swarm_noc::{Mesh, TrafficClass};
 use swarm_types::{Addr, CoreId, LineAddr, SystemConfig, TaskId, TileId};
 
 use crate::arena::TaskArena;
+use crate::fault::FaultRuntime;
 use crate::key_list::KeyList;
 use crate::line_table::LineTable;
 use crate::observer::{
@@ -110,6 +111,9 @@ pub struct SimState {
     /// Tiles that received new dispatchable work or freed commit slots since
     /// the engine last drained this list.
     pub wake_tiles: Vec<TileId>,
+    /// Live fault switches (see [`crate::fault`]). All disabled unless a
+    /// fault plan flipped one mid-run, so fault-free runs are unaffected.
+    pub(crate) faults: FaultRuntime,
     /// `log2(cores_per_tile)` when the count is a power of two, so
     /// [`SimState::tile_of_core`] — called several times per task — can
     /// shift instead of divide.
@@ -173,6 +177,7 @@ impl SimState {
             profiling: false,
             observers: ObserverHub::new(num_tiles),
             wake_tiles: Vec::new(),
+            faults: FaultRuntime::default(),
             tile_shift: cfg
                 .cores_per_tile
                 .is_power_of_two()
@@ -196,6 +201,12 @@ impl SimState {
     #[inline]
     pub(crate) fn record_traffic(&mut self, class: TrafficClass, hops: u64, flits: u64) {
         self.observers.network(&NetworkEvent { class, hops, flits });
+        // An armed DuplicateMessage fault delivers (and accounts) the next
+        // message a second time.
+        if self.faults.duplicate_next {
+            self.faults.duplicate_next = false;
+            self.observers.network(&NetworkEvent { class, hops, flits });
+        }
     }
 
     /// The tile a core belongs to.
@@ -322,7 +333,8 @@ impl SimState {
         let key = (ts, id);
         self.remaining_tasks += 1;
 
-        if self.tiles[tile.index()].task_queue_occupancy() >= self.cfg.task_queue_per_tile() {
+        let cap = self.faults.effective_task_queue_cap(tile, self.cfg.task_queue_per_tile());
+        if self.tiles[tile.index()].task_queue_occupancy() >= cap {
             self.spill_from_tile(tile);
         }
         self.tiles[tile.index()].idle.insert(key);
@@ -365,7 +377,7 @@ impl SimState {
     /// its task queue. Returns how many were refilled.
     pub fn refill_tile(&mut self, tile: TileId) -> usize {
         let batch = self.cfg.queues.spill_batch.max(1);
-        let cap = self.cfg.task_queue_per_tile();
+        let cap = self.faults.effective_task_queue_cap(tile, self.cfg.task_queue_per_tile());
         let mut refilled = 0;
         while refilled < batch {
             if self.tiles[tile.index()].task_queue_occupancy() >= cap {
@@ -504,11 +516,15 @@ impl SimState {
         let outcome = self.caches.access(core, line, kind);
         let mut latency = outcome.base_latency + check_cost;
         let line_flits = self.mesh.line_flits();
+        // An active DelayedMessage fault slows every off-tile transfer this
+        // tile issues (zero unless armed, so the fault-free path is exact).
+        let delay = self.faults.extra_remote_latency(tile);
         match outcome.level {
             HitLevel::L1 | HitLevel::L2 => {}
             HitLevel::RemoteL2 { owner } => {
                 let home = self.caches.home_tile(line);
-                latency += 2 * self.mesh.latency(tile, owner) + self.mesh.latency(tile, home);
+                latency +=
+                    2 * self.mesh.latency(tile, owner) + self.mesh.latency(tile, home) + delay;
                 let owner_hops = self.mesh.hops(tile, owner);
                 self.record_traffic(TrafficClass::Memory, owner_hops, line_flits);
                 let home_hops = self.mesh.hops(tile, home);
@@ -516,12 +532,12 @@ impl SimState {
                 self.record_traffic(TrafficClass::Memory, home_hops, control_flits);
             }
             HitLevel::L3 { home } => {
-                latency += 2 * self.mesh.latency(tile, home);
+                latency += 2 * self.mesh.latency(tile, home) + delay;
                 let hops = self.mesh.hops(tile, home);
                 self.record_traffic(TrafficClass::Memory, hops, line_flits);
             }
             HitLevel::Memory { home } => {
-                latency += 2 * self.mesh.latency(tile, home);
+                latency += 2 * self.mesh.latency(tile, home) + delay;
                 let hops = self.mesh.hops(tile, home) * 2 + 2;
                 self.record_traffic(TrafficClass::Memory, hops, line_flits);
             }

@@ -175,6 +175,15 @@ pub struct SystemConfig {
     pub lb_correction_pct: u8,
     /// Seed for all randomized policies (Random mapper, NOHINT placement).
     pub seed: u64,
+    /// Maximum simulated cycles the run may consume before it is aborted
+    /// with `SimError::CycleBudgetExceeded`. Checked at GVT epochs so the
+    /// hot loop pays nothing; 0 disables the budget.
+    pub max_cycles: u64,
+    /// Maximum wall-clock milliseconds the run may consume before it is
+    /// aborted with `SimError::WallClockBudgetExceeded`. Checked at GVT
+    /// epochs; 0 disables the budget. Termination under this budget is
+    /// host-speed dependent, so budgeted runs are not cycle-deterministic.
+    pub max_wall_ms: u64,
 }
 
 impl Default for SystemConfig {
@@ -192,6 +201,8 @@ impl Default for SystemConfig {
             lb_epoch: 500_000,
             lb_correction_pct: 80,
             seed: 0xC0FFEE,
+            max_cycles: 0,
+            max_wall_ms: 0,
         }
     }
 }
@@ -370,6 +381,17 @@ mod tests {
         let mut cfg = SystemConfig::small();
         cfg.spec.gvt_epoch = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn budgets_default_to_unlimited_and_validate() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.max_cycles, 0, "no cycle budget by default");
+        assert_eq!(cfg.max_wall_ms, 0, "no wall-clock budget by default");
+        let mut cfg = SystemConfig::small();
+        cfg.max_cycles = 1_000;
+        cfg.max_wall_ms = 50;
+        cfg.validate().unwrap();
     }
 
     #[test]

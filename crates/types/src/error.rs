@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::ids::{TaskId, Timestamp};
+
 /// Result alias used by fallible simulator APIs.
 pub type SimResult<T> = Result<T, SimError>;
 
@@ -32,6 +34,39 @@ pub enum SimError {
     Deadlock {
         /// Number of tasks still outstanding when the system quiesced.
         remaining: u64,
+        /// Minimum timestamp among the outstanding tasks — the commit
+        /// frontier the system was wedged behind.
+        min_ts: Timestamp,
+        /// The outstanding task with the minimum `(ts, id)` order key:
+        /// the first task the commit walk would have needed next.
+        stuck_task: TaskId,
+    },
+    /// The run exceeded its configured maximum simulated-cycle budget
+    /// (see `SystemConfig::max_cycles`). Checked at GVT epochs.
+    CycleBudgetExceeded {
+        /// The configured cycle budget.
+        budget: u64,
+        /// Simulated cycle at which the overrun was detected.
+        cycle: u64,
+        /// Number of tasks still outstanding at detection.
+        remaining: u64,
+        /// Global virtual time (commit frontier) at detection.
+        last_gvt: Timestamp,
+    },
+    /// The run exceeded its configured wall-clock budget (see
+    /// `SystemConfig::max_wall_ms`). Checked at GVT epochs; inherently
+    /// host-speed dependent, so the exact trip cycle is not deterministic.
+    WallClockBudgetExceeded {
+        /// The configured wall-clock budget in milliseconds.
+        budget_ms: u64,
+        /// Wall-clock milliseconds actually elapsed at detection.
+        elapsed_ms: u64,
+        /// Simulated cycle at which the overrun was detected.
+        cycle: u64,
+        /// Number of tasks still outstanding at detection.
+        remaining: u64,
+        /// Global virtual time (commit frontier) at detection.
+        last_gvt: Timestamp,
     },
 }
 
@@ -49,8 +84,33 @@ impl fmt::Display for SimError {
             SimError::ValidationFailed(msg) => {
                 write!(f, "validation against serial reference failed: {msg}")
             }
-            SimError::Deadlock { remaining } => {
-                write!(f, "simulation deadlocked with {remaining} tasks outstanding")
+            SimError::Deadlock { remaining, min_ts, stuck_task } => {
+                write!(
+                    f,
+                    "simulation deadlocked with {remaining} tasks outstanding \
+                     (first stuck: task {} at timestamp {min_ts})",
+                    stuck_task.0
+                )
+            }
+            SimError::CycleBudgetExceeded { budget, cycle, remaining, last_gvt } => {
+                write!(
+                    f,
+                    "cycle budget of {budget} exceeded at cycle {cycle} \
+                     ({remaining} tasks outstanding, gvt {last_gvt})"
+                )
+            }
+            SimError::WallClockBudgetExceeded {
+                budget_ms,
+                elapsed_ms,
+                cycle,
+                remaining,
+                last_gvt,
+            } => {
+                write!(
+                    f,
+                    "wall-clock budget of {budget_ms} ms exceeded ({elapsed_ms} ms elapsed) \
+                     at cycle {cycle} ({remaining} tasks outstanding, gvt {last_gvt})"
+                )
             }
         }
     }
@@ -70,13 +130,47 @@ mod tests {
             SimError::TimestampRegression { parent: 5, child: 2 },
             SimError::TaskLimitExceeded(10),
             SimError::ValidationFailed("mismatch".into()),
-            SimError::Deadlock { remaining: 4 },
+            SimError::Deadlock { remaining: 4, min_ts: 17, stuck_task: TaskId(9) },
+            SimError::CycleBudgetExceeded { budget: 100, cycle: 150, remaining: 2, last_gvt: 7 },
+            SimError::WallClockBudgetExceeded {
+                budget_ms: 10,
+                elapsed_ms: 25,
+                cycle: 9_000,
+                remaining: 3,
+                last_gvt: 42,
+            },
         ];
         for e in errors {
             let s = e.to_string();
             assert!(!s.is_empty());
             assert!(s.chars().next().unwrap().is_lowercase());
         }
+    }
+
+    #[test]
+    fn deadlock_display_names_the_stuck_task() {
+        let e = SimError::Deadlock { remaining: 4, min_ts: 17, stuck_task: TaskId(9) };
+        let s = e.to_string();
+        assert!(s.contains("4 tasks outstanding"), "{s}");
+        assert!(s.contains("task 9"), "{s}");
+        assert!(s.contains("timestamp 17"), "{s}");
+    }
+
+    #[test]
+    fn budget_errors_carry_diagnostics_in_display() {
+        let c =
+            SimError::CycleBudgetExceeded { budget: 100, cycle: 150, remaining: 2, last_gvt: 7 }
+                .to_string();
+        assert!(c.contains("100") && c.contains("150") && c.contains("gvt 7"), "{c}");
+        let w = SimError::WallClockBudgetExceeded {
+            budget_ms: 10,
+            elapsed_ms: 25,
+            cycle: 9_000,
+            remaining: 3,
+            last_gvt: 42,
+        }
+        .to_string();
+        assert!(w.contains("10 ms") && w.contains("25 ms") && w.contains("9000"), "{w}");
     }
 
     #[test]

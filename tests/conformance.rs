@@ -130,6 +130,7 @@ fn every_app_is_byte_identical_across_pool_jobs() {
                 cores: 4,
                 scale: InputScale::Tiny,
                 seed: SEED,
+                fault: None,
             })
         })
         .collect();

@@ -22,8 +22,11 @@ use proptest::prelude::*;
 use swarm_repro::apps::synth::{Hostile, HostileWorkload};
 use swarm_repro::prelude::*;
 use swarm_repro::sim::conformance::MapperSpec;
-use swarm_repro::sim::fuzz::{check_scenario, scenario, ScenarioSpec};
-use swarm_repro::types::SimError;
+use swarm_repro::sim::fault::FaultPlan;
+use swarm_repro::sim::fuzz::{
+    check_scenario, check_scenario_with_faults, fault_plan, scenario, ScenarioSpec,
+};
+use swarm_repro::types::{SimError, TaskId};
 
 type MapperBuilder = Box<dyn Fn(&SystemConfig) -> Box<dyn TaskMapper>>;
 
@@ -68,6 +71,32 @@ proptest! {
     #[test]
     fn random_scenarios_conform_part_d(spec in scenario()) {
         check(&spec);
+    }
+}
+
+/// Run one sampled (scenario, fault plan) pair through the chaos contract
+/// under every paper scheduler: each combo must either complete clean and
+/// bit-identical on repeat, or fail with the same typed `SimError` on
+/// repeat — never hang, panic, or leak residue.
+fn check_with_faults(spec: &ScenarioSpec, plan: &FaultPlan) {
+    let builders = paper_mappers();
+    let mappers: Vec<MapperSpec<'_>> =
+        builders.iter().map(|(name, build)| MapperSpec { name, build: build.as_ref() }).collect();
+    check_scenario_with_faults(spec, plan, &mappers, &[1, 8]).unwrap_or_else(|e| {
+        panic!("faulted scenario violated the chaos contract: {e}\nspec: {spec:?}\nplan: {plan}")
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+    #[test]
+    fn fault_scenarios_conform_part_a(spec in scenario(), plan in fault_plan()) {
+        check_with_faults(&spec, &plan);
+    }
+
+    #[test]
+    fn fault_scenarios_conform_part_b(spec in scenario(), plan in fault_plan()) {
+        check_with_faults(&spec, &plan);
     }
 }
 
@@ -174,11 +203,13 @@ fn wedged_run_reports_deadlock_with_remaining_work() {
         // Far past all real work, so every healthy task drains first.
         engine.inject_lost_task(u64::MAX / 2);
         let err = engine.run().expect_err("a wedged run must error, not hang");
-        assert_eq!(
-            err,
-            SimError::Deadlock { remaining: 1 },
-            "at {cores} cores under {}, the planted task must be the only remainder",
-            scheduler.name()
-        );
+        let SimError::Deadlock { remaining, min_ts, stuck_task } = &err else {
+            panic!("at {cores} cores under {}, expected a deadlock, got {err}", scheduler.name());
+        };
+        assert_eq!(*remaining, 1, "the planted task must be the only remainder");
+        assert_eq!(*min_ts, u64::MAX / 2, "diagnostics must name the planted timestamp");
+        // Injection precedes run(), so the planted task fills the first
+        // arena slot — the diagnosis must name it exactly.
+        assert_eq!(*stuck_task, TaskId(0), "diagnostics must name the planted task");
     }
 }

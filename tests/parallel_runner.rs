@@ -13,7 +13,11 @@
 
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId, InputScale};
-use swarm_bench::{format_speedup_table, speedup_curve, CurveSpec, Pool, RunRequest};
+use swarm_bench::{
+    format_speedup_table, speedup_curve, CurveSpec, FailurePolicy, Pool, RunRequest,
+};
+use swarm_sim::{FaultEvent, FaultKind};
+use swarm_types::TileId;
 
 const APPS: [BenchmarkId; 3] = [BenchmarkId::Sssp, BenchmarkId::Kmeans, BenchmarkId::Kvstore];
 const SCHEDULERS: [Scheduler; 2] = [Scheduler::Random, Scheduler::Hints];
@@ -84,6 +88,60 @@ fn run_matrix_preserves_request_order_under_contention() {
         assert_eq!(s.cores, req.cores as usize);
         assert_eq!(format!("{s:?}"), format!("{p:?}"));
     }
+}
+
+#[test]
+fn faulted_matrix_is_byte_identical_across_jobs() {
+    // Benign faults perturb timing deterministically: a faulted matrix must
+    // stay byte-identical between --jobs 1 and --jobs 8, exactly like a
+    // healthy one.
+    let benign = [
+        FaultEvent {
+            at_cycle: 40,
+            kind: FaultKind::DelayedMessage { tile: TileId(0), extra_cycles: 9 },
+        },
+        FaultEvent { at_cycle: 60, kind: FaultKind::DuplicateMessage },
+        FaultEvent { at_cycle: 80, kind: FaultKind::AbortStorm },
+    ];
+    let requests: Vec<RunRequest> = APPS
+        .iter()
+        .zip(benign)
+        .map(|(&app, fault)| {
+            RunRequest::new(AppSpec::coarse(app), Scheduler::Hints, 4, InputScale::Tiny)
+                .with_fault(fault)
+        })
+        .collect();
+    let serial = Pool::new(1).run_matrix(&requests);
+    let parallel = Pool::new(8).run_matrix(&requests);
+    assert_eq!(format!("{serial:#?}"), format!("{parallel:#?}"));
+}
+
+#[test]
+fn failing_matrix_results_are_byte_identical_across_jobs_under_collect_all() {
+    // With CollectAll, every slot — including each typed failure — must be
+    // reassembled identically at any --jobs level.
+    let doom = FaultEvent { at_cycle: 0, kind: FaultKind::LostTaskWake { ts: 1 } };
+    let requests: Vec<RunRequest> = [1u32, 2, 4, 8]
+        .iter()
+        .enumerate()
+        .map(|(i, &cores)| {
+            let r = RunRequest::new(
+                AppSpec::coarse(BenchmarkId::Sssp),
+                Scheduler::Hints,
+                cores,
+                InputScale::Tiny,
+            );
+            if i % 2 == 1 {
+                r.with_fault(doom)
+            } else {
+                r
+            }
+        })
+        .collect();
+    let serial = Pool::new(1).with_policy(FailurePolicy::CollectAll).try_run_matrix(&requests);
+    let parallel = Pool::new(8).with_policy(FailurePolicy::CollectAll).try_run_matrix(&requests);
+    assert_eq!(format!("{serial:#?}"), format!("{parallel:#?}"));
+    assert_eq!(serial.iter().filter(|r| r.is_err()).count(), 2);
 }
 
 #[test]
