@@ -25,6 +25,9 @@ fn print_usage() {
     println!("  --seed N              workload seed");
     println!("  --apps a,b,c          restrict the benchmark set");
     println!("  --schedulers r,s,h,l  restrict the scheduler comparison");
+    println!("  --noc analytic|contention");
+    println!("                        network model: fixed-latency mesh (default) or");
+    println!("                        per-link queueing (see 'swarm noc-profile')");
     println!("  --jobs N              worker threads (output is identical at any N)");
     println!("  --on-error fail|collect|retry:N");
     println!("                        failure policy: stop promptly (default), run");
@@ -54,9 +57,9 @@ fn main() {
             Some(spec) => {
                 let rest = &args[1..];
                 if rest.iter().any(|a| a == "--help" || a == "-h") {
-                    // Figure commands ignore unknown flags by design, so a
-                    // help request must be intercepted here or it would run
-                    // the full sweep instead.
+                    // Intercepted here so the help text can include the
+                    // command table; the shared parser would otherwise
+                    // print only the flag summary.
                     println!("swarm {}: {}", spec.name, spec.about);
                     println!();
                     print_usage();

@@ -12,7 +12,10 @@ const SIGNALS: [Scheduler; 3] = [Scheduler::Hints, Scheduler::LbHints, Scheduler
 /// Run the `ablation_lb` command with the argument slice that follows the
 /// subcommand name (`swarm ablation_lb <args...>`).
 pub fn run(args: &[String]) -> i32 {
-    let args = HarnessArgs::parse_args(args);
+    let args = match HarnessArgs::parse_args(args) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
     let args = &args;
     let cores = args.max_cores();
     let benches: Vec<BenchmarkId> =

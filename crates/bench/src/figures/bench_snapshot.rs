@@ -18,9 +18,13 @@
 
 use std::time::Instant;
 
+use spatial_hints::Scheduler;
+use swarm_apps::{AppSpec, BenchmarkId, InputScale};
 use swarm_mem::{AccessKind, CacheModel, LruSet, SimMemory};
 use swarm_sim::{BloomFilter, InitialTask, RoundRobinMapper, Sim, SwarmApp, TaskCtx};
-use swarm_types::{CacheConfig, CoreId, Hint, LineAddr};
+use swarm_types::{CacheConfig, CoreId, Hint, LineAddr, NocModel};
+
+use crate::runner::{run_app, RunRequest};
 
 /// Samples taken per mechanism; the median is reported.
 const SAMPLES: usize = 20;
@@ -201,6 +205,24 @@ pub fn run(args: &[String]) -> i32 {
     });
     let engine_cycles_per_sec = sim_cycles as f64 * 1e9 / ns_per_run;
 
+    // NoC queueing under the contention model: total link-queueing cycles
+    // for Random vs Hints on two Table I apps at 16 cores, tiny scale.
+    // These runs are deterministic (cycle counts, not wall time), and the
+    // series is the machine-readable record that hint-based spatial
+    // locality pays measurably fewer queueing cycles than random mapping.
+    let mut noc_queueing: Vec<(String, u64)> = Vec::new();
+    for bench in [BenchmarkId::Bfs, BenchmarkId::Des] {
+        for scheduler in [Scheduler::Random, Scheduler::Hints] {
+            let stats = run_app(
+                RunRequest::new(AppSpec::coarse(bench), scheduler, 16, InputScale::Tiny)
+                    .with_noc(NocModel::Contention),
+            );
+            let name =
+                format!("noc_queueing_{}_{}", bench.name(), scheduler.name().to_ascii_lowercase());
+            noc_queueing.push((name, stats.noc_queue_cycles));
+        }
+    }
+
     // Hand-rolled JSON (the offline build has no serde_json); mechanism
     // names are static identifiers, so nothing needs escaping.
     let mut entries: Vec<String> = results
@@ -210,6 +232,9 @@ pub fn run(args: &[String]) -> i32 {
     entries.push(format!(
         "    {{\"name\": \"engine_cycles_per_sec\", \"cycles_per_sec\": {engine_cycles_per_sec:.0}}}"
     ));
+    for (name, cycles) in &noc_queueing {
+        entries.push(format!("    {{\"name\": \"{name}\", \"queue_cycles\": {cycles}}}"));
+    }
     let json = format!(
         "{{\n  \"bench\": \"mechanisms\",\n  \"unit\": \"ns_per_op\",\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
@@ -221,6 +246,9 @@ pub fn run(args: &[String]) -> i32 {
         println!("{name:<32}{ns:>12.1}");
     }
     println!("{:<32}{engine_cycles_per_sec:>12.0}", "engine_cycles_per_sec");
+    for (name, cycles) in &noc_queueing {
+        println!("{name:<32}{cycles:>12}");
+    }
     println!("wrote {out}");
 
     crate::exit_code::OK

@@ -36,7 +36,11 @@ const FAULT_CYCLE: u64 = 100;
 /// Run the `chaos` command with the argument slice that follows the
 /// subcommand name (`swarm chaos <args...>`).
 pub fn run(raw: &[String]) -> i32 {
-    let args = HarnessArgs::parse_args(raw);
+    let extras = [crate::ExtraFlag { name: "--plan", takes_value: true }];
+    let args = match HarnessArgs::parse_args_with(raw, &extras) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
     let plan = match extract_plan(raw) {
         Ok(plan) => plan,
         Err(e) => {

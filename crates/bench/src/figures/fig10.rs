@@ -10,7 +10,10 @@ use swarm_apps::{AppSpec, BenchmarkId};
 /// Run the `fig10` command with the argument slice that follows the
 /// subcommand name (`swarm fig10 <args...>`).
 pub fn run(args: &[String]) -> i32 {
-    let args = HarnessArgs::parse_args(args);
+    let args = match HarnessArgs::parse_args(args) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
     let series: Vec<CurveSpec> = args
         .apps
         .iter()

@@ -8,7 +8,10 @@ use swarm_apps::{AppSpec, BenchmarkId};
 /// Run the `fig2` command with the argument slice that follows the
 /// subcommand name (`swarm fig2 <args...>`).
 pub fn run(args: &[String]) -> i32 {
-    let args = HarnessArgs::parse_args(args);
+    let args = match HarnessArgs::parse_args(args) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
     let spec = AppSpec::coarse(BenchmarkId::Des);
 
     // One matrix serves both parts: the largest core count is always part

@@ -9,7 +9,10 @@ use swarm_apps::AppSpec;
 /// Run the `fig3` command with the argument slice that follows the
 /// subcommand name (`swarm fig3 <args...>`).
 pub fn run(args: &[String]) -> i32 {
-    let args = HarnessArgs::parse_args(args);
+    let args = match HarnessArgs::parse_args(args) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
     let requests: Vec<RunRequest> = args
         .apps
         .iter()

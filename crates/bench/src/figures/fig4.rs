@@ -8,7 +8,10 @@ use swarm_apps::AppSpec;
 /// Run the `fig4` command with the argument slice that follows the
 /// subcommand name (`swarm fig4 <args...>`).
 pub fn run(args: &[String]) -> i32 {
-    let args = HarnessArgs::parse_args(args);
+    let args = match HarnessArgs::parse_args(args) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
     // Fig. 4 compares Random, Stealing and Hints (LBHints appears in Fig. 10).
     let schedulers =
         args.schedulers_or(&[Scheduler::Random, Scheduler::Stealing, Scheduler::Hints]);

@@ -2,14 +2,21 @@
 //! application at the largest core count, under Random, Stealing and Hints,
 //! normalized to Random.
 
-use crate::{format_breakdown_table_results, format_traffic_table_results, HarnessArgs};
+use crate::{
+    format_breakdown_table_results, format_traffic_queueing_table_results,
+    format_traffic_table_results, HarnessArgs,
+};
 use spatial_hints::Scheduler;
 use swarm_apps::AppSpec;
+use swarm_types::NocModel;
 
 /// Run the `fig5` command with the argument slice that follows the
 /// subcommand name (`swarm fig5 <args...>`).
 pub fn run(args: &[String]) -> i32 {
-    let args = HarnessArgs::parse_args(args);
+    let args = match HarnessArgs::parse_args(args) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
     let args = &args;
     let schedulers =
         args.schedulers_or(&[Scheduler::Random, Scheduler::Stealing, Scheduler::Hints]);
@@ -38,7 +45,14 @@ pub fn run(args: &[String]) -> i32 {
             "Fig. 5b [{}]: NoC data breakdown at {cores} cores (normalized to Random)",
             bench.name()
         );
-        println!("{}", format_traffic_table_results(app_entries));
+        // Under the contention model, add the queueing-delay column; the
+        // default analytic output stays byte-identical to the pinned
+        // figures.
+        if args.noc == NocModel::Contention {
+            println!("{}", format_traffic_queueing_table_results(app_entries));
+        } else {
+            println!("{}", format_traffic_table_results(app_entries));
+        }
     }
 
     super::report_failures(entries.iter().filter_map(|(_, r)| r.as_ref().err()))

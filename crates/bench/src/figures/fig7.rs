@@ -9,7 +9,10 @@ use swarm_apps::{AppSpec, BenchmarkId};
 /// Run the `fig7` command with the argument slice that follows the
 /// subcommand name (`swarm fig7 <args...>`).
 pub fn run(args: &[String]) -> i32 {
-    let args = HarnessArgs::parse_args(args);
+    let args = match HarnessArgs::parse_args(args) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
     let schedulers =
         args.schedulers_or(&[Scheduler::Random, Scheduler::Stealing, Scheduler::Hints]);
     let benches: Vec<BenchmarkId> =

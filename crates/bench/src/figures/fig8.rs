@@ -2,14 +2,21 @@
 //! of bfs, sssp, astar and color at the largest core count, under Random,
 //! Stealing and Hints, normalized to the coarse-grain version under Random.
 
-use crate::{format_breakdown_table_results, format_traffic_table_results, HarnessArgs};
+use crate::{
+    format_breakdown_table_results, format_traffic_queueing_table_results,
+    format_traffic_table_results, HarnessArgs,
+};
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, BenchmarkId};
+use swarm_types::NocModel;
 
 /// Run the `fig8` command with the argument slice that follows the
 /// subcommand name (`swarm fig8 <args...>`).
 pub fn run(args: &[String]) -> i32 {
-    let args = HarnessArgs::parse_args(args);
+    let args = match HarnessArgs::parse_args(args) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
     let args = &args;
     let schedulers =
         args.schedulers_or(&[Scheduler::Random, Scheduler::Stealing, Scheduler::Hints]);
@@ -43,7 +50,13 @@ pub fn run(args: &[String]) -> i32 {
             "Fig. 8b [{}]: FG NoC data breakdown at {cores} cores (normalized to CG-Random)",
             bench.name()
         );
-        println!("{}", format_traffic_table_results(bench_entries));
+        // The contention model adds the queueing-delay column; analytic
+        // output stays byte-identical to the pinned figures.
+        if args.noc == NocModel::Contention {
+            println!("{}", format_traffic_queueing_table_results(bench_entries));
+        } else {
+            println!("{}", format_traffic_table_results(bench_entries));
+        }
     }
 
     super::report_failures(entries.iter().filter_map(|(_, r)| r.as_ref().err()))

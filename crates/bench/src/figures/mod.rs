@@ -24,6 +24,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod noc_profile;
 pub mod summary;
 pub mod sysconfig;
 pub mod table1;

@@ -1,0 +1,112 @@
+//! `swarm noc-profile`: per-link contention heat report.
+//!
+//! Runs each selected app under the **contention** NoC model (the command
+//! exists to profile link queueing, so `--noc` is implied) and prints, per
+//! app × scheduler, a mesh-shaped heat table of queueing cycles per
+//! directed link plus the per-class queueing totals and the hottest link.
+
+use spatial_hints::Scheduler;
+use swarm_apps::AppSpec;
+use swarm_noc::{LinkStats, DIR_LABELS, LINKS_PER_TILE};
+use swarm_types::{NocModel, SystemConfig, TileId};
+
+use crate::HarnessArgs;
+
+/// Traffic-class labels in [`swarm_noc::TrafficClass::ALL`] order, matching
+/// `LinkStats::class_queue_cycles`.
+const CLASS_LABELS: [&str; 4] = ["mem", "abort", "task", "gvt"];
+
+/// Render the per-link heat table for one run: one row per tile, one
+/// column per link direction, cells holding the link's queueing cycles
+/// (`.` for links no message ever crossed).
+fn heat_table(stats: &LinkStats, cfg: &SystemConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>8}", "tile"));
+    for dir in DIR_LABELS {
+        out.push_str(&format!("{dir:>12}"));
+    }
+    out.push('\n');
+    for tile in 0..cfg.num_tiles() {
+        let (x, y) = (tile as u32 % cfg.tiles_x, tile as u32 / cfg.tiles_x);
+        out.push_str(&format!("{:>8}", format!("({x},{y})")));
+        for dir in 0..LINKS_PER_TILE {
+            let link = &stats.links[tile * LINKS_PER_TILE + dir];
+            if link.messages == 0 {
+                out.push_str(&format!("{:>12}", "."));
+            } else {
+                out.push_str(&format!("{:>12}", link.queue_cycles));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line summary of the hottest link of a run, if any link saw traffic.
+fn hottest_line(stats: &LinkStats, cfg: &SystemConfig) -> Option<String> {
+    let (id, link) = stats.hottest_link()?;
+    let tile = TileId(id / LINKS_PER_TILE as u32);
+    let (x, y) = (tile.0 % cfg.tiles_x, tile.0 / cfg.tiles_x);
+    let dir = DIR_LABELS[id as usize % LINKS_PER_TILE];
+    Some(format!(
+        "hottest link: ({x},{y}) {dir} — {} queue cycles, {} msgs, {} flits, occupancy max {} mean {:.2}",
+        link.queue_cycles, link.messages, link.flits, link.max_occupancy, link.mean_occupancy()
+    ))
+}
+
+/// Run the `noc-profile` command with the argument slice that follows the
+/// subcommand name (`swarm noc-profile <args...>`).
+pub fn run(args: &[String]) -> i32 {
+    let mut args = match HarnessArgs::parse_args(args) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    // Profiling link contention only makes sense under the contention
+    // model; under the analytic model every counter reads zero.
+    args.noc = NocModel::Contention;
+    let args = &args;
+    let schedulers = args.schedulers_or(&[Scheduler::Random, Scheduler::Hints]);
+    let cores = args.max_cores();
+    let cfg = SystemConfig::with_cores(cores);
+
+    let entries = args.pool().try_run_labeled(
+        args.apps
+            .iter()
+            .flat_map(|&bench| {
+                let spec = AppSpec::coarse(bench);
+                schedulers
+                    .iter()
+                    .map(move |&s| (s.name().to_string(), args.request(spec, s, cores)))
+            })
+            .collect(),
+    );
+
+    for (bench, app_entries) in args.apps.iter().zip(entries.chunks(schedulers.len())) {
+        for (label, result) in app_entries {
+            let Ok(stats) = result else { continue };
+            let Some(link_stats) = &stats.link_stats else { continue };
+            println!(
+                "NoC profile [{}/{label}] at {cores} cores ({}x{} tiles): \
+                 {} total queueing cycles over {} cycles",
+                bench.name(),
+                cfg.tiles_x,
+                cfg.tiles_y,
+                link_stats.total_queue_cycles(),
+                stats.runtime_cycles,
+            );
+            let per_class: Vec<String> = CLASS_LABELS
+                .iter()
+                .zip(link_stats.class_queue_cycles)
+                .map(|(label, cycles)| format!("{label} {cycles}"))
+                .collect();
+            println!("per-class queueing cycles: {}", per_class.join(", "));
+            if let Some(line) = hottest_line(link_stats, &cfg) {
+                println!("{line}");
+            }
+            println!("per-link queueing cycles ('.' = link never used):");
+            println!("{}", heat_table(link_stats, &cfg));
+        }
+    }
+
+    super::report_failures(entries.iter().filter_map(|(_, r)| r.as_ref().err()))
+}

@@ -53,7 +53,11 @@ const RUNS_PER_APP: usize = 6;
 /// subcommand name (`swarm summary <args...>`).
 pub fn run(args: &[String]) -> i32 {
     let json = args.iter().any(|a| a == "--json");
-    let args = HarnessArgs::parse_args(args);
+    let extras = [crate::ExtraFlag { name: "--json", takes_value: false }];
+    let args = match HarnessArgs::parse_args_with(args, &extras) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
     let cores = args.max_cores();
 
     // Per app: 1-core Random baseline, then Random/Stealing/Hints on the

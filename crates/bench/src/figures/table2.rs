@@ -21,7 +21,10 @@ use swarm_apps::{AppSpec, BenchmarkId};
 /// Run the `table2` command with the argument slice that follows the
 /// subcommand name (`swarm table2 <args...>`).
 pub fn run(args: &[String]) -> i32 {
-    let args = HarnessArgs::parse_args(args);
+    let args = match HarnessArgs::parse_args(args) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
     let apps = args.apps_or(&BenchmarkId::BEYOND_TABLE1);
 
     println!("Table 2: workloads beyond Table I (scale: {:?}, seed: {:#x})", args.scale, args.seed);

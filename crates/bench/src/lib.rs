@@ -51,7 +51,7 @@ pub mod exit_code {
     pub const CHAOS: i32 = 4;
 }
 
-pub use cli::{HarnessArgs, ListArg};
+pub use cli::{ExtraFlag, HarnessArgs, ListArg, UsageError};
 pub use pool::{
     CurveGroup, CurveSpec, FailurePolicy, LabeledCurve, PointResult, Pool, ResultCurve, StatsResult,
 };
@@ -59,7 +59,8 @@ pub use registry::{find as find_command, FigureSpec, REGISTRY};
 pub use report::{
     classification_header, format_breakdown_table, format_breakdown_table_results,
     format_classification_row, format_speedup_table, format_speedup_table_results,
-    format_traffic_table, format_traffic_table_results, gmean,
+    format_traffic_queueing_table_results, format_traffic_table, format_traffic_table_results,
+    gmean,
 };
 pub use runner::{
     run_app, run_app_profiled, run_point_result, speedup_curve, ExperimentPoint, RunError,

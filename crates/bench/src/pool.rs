@@ -279,9 +279,9 @@ impl Pool {
         // as the serial path does).
         let mut requests = Vec::new();
         for &(_, spec, scheduler) in series {
-            requests.push(RunRequest { spec, scheduler, cores: 1, scale, seed, fault: None });
+            requests.push(RunRequest::new(spec, scheduler, 1, scale).with_seed(seed));
             for &cores in core_counts.iter().filter(|&&c| c != 1) {
-                requests.push(RunRequest { spec, scheduler, cores, scale, seed, fault: None });
+                requests.push(RunRequest::new(spec, scheduler, cores, scale).with_seed(seed));
             }
         }
         let mut results = self.execute(&requests, false).into_iter();
@@ -292,14 +292,8 @@ impl Pool {
                 let points = core_counts
                     .iter()
                     .map(|&cores| {
-                        let request = RunRequest {
-                            spec: *spec,
-                            scheduler: *scheduler,
-                            cores,
-                            scale,
-                            seed,
-                            fault: None,
-                        };
+                        let request =
+                            RunRequest::new(*spec, *scheduler, cores, scale).with_seed(seed);
                         let point_stats = if cores == 1 {
                             baseline.clone()
                         } else {
@@ -364,7 +358,7 @@ impl Pool {
             requests.push(*baseline);
             for &(_, spec, scheduler) in series {
                 for &cores in core_counts {
-                    requests.push(RunRequest { spec, scheduler, cores, scale, seed, fault: None });
+                    requests.push(RunRequest::new(spec, scheduler, cores, scale).with_seed(seed));
                 }
             }
         }
@@ -379,14 +373,8 @@ impl Pool {
                         let points = core_counts
                             .iter()
                             .map(|&cores| {
-                                let request = RunRequest {
-                                    spec: *spec,
-                                    scheduler: *scheduler,
-                                    cores,
-                                    scale,
-                                    seed,
-                                    fault: None,
-                                };
+                                let request = RunRequest::new(*spec, *scheduler, cores, scale)
+                                    .with_seed(seed);
                                 let point_stats =
                                     stats.next().expect("one run per series per core count");
                                 let speedup = point_stats.speedup_over(&baseline_stats);

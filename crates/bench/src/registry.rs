@@ -122,6 +122,12 @@ pub const REGISTRY: &[FigureSpec] = &[
         about: "fault-injection battery: every fault must fail typed or complete clean",
         run: figures::chaos::run,
     },
+    FigureSpec {
+        name: "noc-profile",
+        aliases: &["noc_profile"],
+        about: "per-link queueing heat tables under the contention NoC model",
+        run: figures::noc_profile::run,
+    },
 ];
 
 /// Look a command up by name or alias.
@@ -201,8 +207,9 @@ mod tests {
             assert!(find(name).is_some(), "{name} missing from the registry");
         }
         // The registry carries the fifteen legacy commands plus `chaos`
-        // (which never had a standalone binary).
-        assert_eq!(REGISTRY.len(), 16);
+        // and `noc-profile` (which never had standalone binaries).
+        assert_eq!(REGISTRY.len(), 17);
         assert!(find("chaos").is_some());
+        assert_eq!(find("noc_profile").unwrap().name, "noc-profile");
     }
 }

@@ -192,6 +192,43 @@ pub fn format_traffic_table_results(entries: &[(String, StatsResult)]) -> String
     out
 }
 
+/// [`format_traffic_table_results`] extended with a `queue` column: the
+/// NoC queueing cycles each run accumulated under the contention model,
+/// normalized to the first `Ok` row's queueing cycles (so the first
+/// scheduler reads 1.000 and the others read their relative queueing
+/// cost). Only used when `--noc contention` is active; the analytic
+/// figures keep the pinned five-column formatter above.
+pub fn format_traffic_queueing_table_results(entries: &[(String, StatsResult)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>12}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}\n",
+        "scheduler", "total", "mem", "abort", "task", "gvt", "queue"
+    ));
+    let first_ok = entries.iter().find_map(|(_, r)| r.as_ref().ok());
+    let baseline_total = first_ok.map(|s| s.traffic.total().max(1)).unwrap_or(1);
+    let baseline_queue = first_ok.map(|s| s.noc_queue_cycles.max(1)).unwrap_or(1);
+    for (label, result) in entries {
+        match result {
+            Ok(stats) => {
+                let t = stats.traffic;
+                let norm = |v: u64| v as f64 / baseline_total as f64;
+                out.push_str(&format!(
+                    "{:>12}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>10.3}\n",
+                    label,
+                    norm(t.total()),
+                    norm(t.of(TrafficClass::Memory)),
+                    norm(t.of(TrafficClass::Abort)),
+                    norm(t.of(TrafficClass::Task)),
+                    norm(t.of(TrafficClass::Gvt)),
+                    stats.noc_queue_cycles as f64 / baseline_queue as f64
+                ));
+            }
+            Err(_) => out.push_str(&na_row(label, 6, 10)),
+        }
+    }
+    out
+}
+
 /// One table row of `n/a` cells for a failed entry.
 fn na_row(label: &str, columns: usize, width: usize) -> String {
     let mut row = format!("{label:>12}");

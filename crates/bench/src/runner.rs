@@ -5,7 +5,7 @@ use std::fmt;
 use spatial_hints::Scheduler;
 use swarm_apps::{AppSpec, InputScale};
 use swarm_sim::{BuildError, FaultEvent, FaultPlan, RunStats, Sim};
-use swarm_types::SimError;
+use swarm_types::{NocModel, SimError, SystemConfig};
 
 /// Everything needed to run one simulation point.
 ///
@@ -29,18 +29,45 @@ pub struct RunRequest {
     /// leaves the simulation byte-identical to a fault-free build; the
     /// chaos/robustness suites set it to stress the pipeline.
     pub fault: Option<FaultEvent>,
+    /// Which network model to simulate under. `Analytic` — the case for
+    /// every pinned figure — is the paper's fixed-latency mesh;
+    /// `Contention` adds per-link queueing (`--noc contention`).
+    pub noc: NocModel,
 }
 
 impl RunRequest {
-    /// A convenience constructor with the default seed and no fault.
+    /// A convenience constructor with the default seed, no fault, and the
+    /// analytic network model.
     pub fn new(spec: AppSpec, scheduler: Scheduler, cores: u32, scale: InputScale) -> Self {
-        RunRequest { spec, scheduler, cores, scale, seed: 0xF1605, fault: None }
+        RunRequest {
+            spec,
+            scheduler,
+            cores,
+            scale,
+            seed: 0xF1605,
+            fault: None,
+            noc: NocModel::Analytic,
+        }
+    }
+
+    /// The same request with a different workload seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// The same request with `fault` injected into the run.
     #[must_use]
     pub fn with_fault(mut self, fault: FaultEvent) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// The same request under the given network model.
+    #[must_use]
+    pub fn with_noc(mut self, noc: NocModel) -> Self {
+        self.noc = noc;
         self
     }
 }
@@ -161,8 +188,19 @@ pub(crate) fn run_point(request: RunRequest, profiled: bool) -> RunStats {
 /// structured [`RunError`] instead of unwinding.
 pub fn run_point_result(request: RunRequest, profiled: bool) -> Result<RunStats, RunError> {
     let guarded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut builder = Sim::builder()
-            .cores(request.cores)
+        // The machine description: plain `.cores(n)` for the analytic
+        // model, a full `SystemConfig` when contention is on (the builder
+        // rejects combining `.cores` with `.config`).
+        let machine = Sim::builder();
+        let machine = match request.noc {
+            NocModel::Analytic => machine.cores(request.cores),
+            NocModel::Contention => {
+                let mut cfg = SystemConfig::with_cores(request.cores);
+                cfg.noc.model = NocModel::Contention;
+                machine.config(cfg)
+            }
+        };
+        let mut builder = machine
             .app_boxed(request.spec.build(request.scale, request.seed))
             .scheduler(request.scheduler)
             .profiling(profiled);
@@ -201,11 +239,11 @@ pub fn speedup_curve(
     scale: InputScale,
     seed: u64,
 ) -> Vec<ExperimentPoint> {
-    let baseline = run_app(RunRequest { spec, scheduler, cores: 1, scale, seed, fault: None });
+    let baseline = run_app(RunRequest::new(spec, scheduler, 1, scale).with_seed(seed));
     core_counts
         .iter()
         .map(|&cores| {
-            let request = RunRequest { spec, scheduler, cores, scale, seed, fault: None };
+            let request = RunRequest::new(spec, scheduler, cores, scale).with_seed(seed);
             let stats = if cores == 1 { baseline.clone() } else { run_app(request) };
             let speedup = stats.speedup_over(&baseline);
             ExperimentPoint { request, stats, speedup }

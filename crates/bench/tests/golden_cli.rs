@@ -120,6 +120,31 @@ fn swarm_list_names_every_command() {
 }
 
 #[test]
+fn bad_scale_exits_2_with_a_diagnostic() {
+    // `--scale full` used to silently run at Small; it must now be a
+    // usage error naming the valid set.
+    let out = Command::new(env!("CARGO_BIN_EXE_swarm"))
+        .args(["fig2", "--scale", "full"])
+        .output()
+        .expect("spawning swarm");
+    assert_eq!(out.status.code(), Some(2), "bad --scale must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("tiny, small, medium"), "stderr must name the valid set:\n{stderr}");
+}
+
+#[test]
+fn noc_profile_prints_link_heat_tables() {
+    let stdout = String::from_utf8(stdout_of(
+        env!("CARGO_BIN_EXE_swarm"),
+        &["noc-profile", "--scale", "tiny", "--apps", "bfs", "--cores", "16", "--jobs", "2"],
+    ))
+    .unwrap();
+    assert!(stdout.contains("total queueing cycles"), "{stdout}");
+    assert!(stdout.contains("hottest link"), "{stdout}");
+    assert!(stdout.contains("per-link queueing cycles"), "{stdout}");
+}
+
+#[test]
 fn unknown_commands_fail_with_a_hint() {
     let out =
         Command::new(env!("CARGO_BIN_EXE_swarm")).arg("fig9").output().expect("spawning swarm");

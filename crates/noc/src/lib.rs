@@ -23,8 +23,10 @@
 //! assert_eq!(traffic.task_flit_hops, 12);
 //! ```
 
+pub mod link;
 pub mod mesh;
 pub mod traffic;
 
-pub use mesh::Mesh;
+pub use link::{LinkCounters, LinkNet, LinkStats};
+pub use mesh::{Mesh, DIR_LABELS, LINKS_PER_TILE};
 pub use traffic::{TrafficClass, TrafficStats};

@@ -1,0 +1,257 @@
+//! Link contention: each directed mesh link as a bandwidth-limited FIFO.
+//!
+//! In [`swarm_types::NocModel::Contention`] every message walks its
+//! dimension-ordered route link by link (see [`crate::Mesh::route_links`]).
+//! A link serves one message at a time in arrival order and needs
+//! `ceil(flits / link_flits_per_cycle)` cycles per message, so a message
+//! arriving while the link is busy queues behind the in-flight ones and its
+//! delivery time slips by the backlog. The model is work-conserving: a link
+//! never idles while a message is waiting, and because arrival order is
+//! deterministic (the engine processes events in a fixed total order) the
+//! resulting delays are bit-identical across repeats and `--jobs` levels.
+//!
+//! The configured `link_queue_depth` bounds the *reported* occupancy — the
+//! backlog a router's finite buffers would expose — not the departure times:
+//! a work-conserving FIFO drains in the same order and at the same rate
+//! regardless of how the backlog is buffered, so clamping only the statistic
+//! keeps the model simple and the delays exact.
+
+use std::collections::VecDeque;
+
+use swarm_types::NocConfig;
+
+use crate::traffic::TrafficClass;
+
+/// Aggregate counters for one directed link (integer-only: these end up in
+/// `RunStats`, which derives `Eq` so determinism checks can compare runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct LinkCounters {
+    /// Messages that traversed the link.
+    pub messages: u64,
+    /// Total flits carried.
+    pub flits: u64,
+    /// Total cycles messages spent queued behind earlier ones.
+    pub queue_cycles: u64,
+    /// Sum over messages of the backlog observed on arrival (each clamped to
+    /// `link_queue_depth`); divide by `messages` for the mean occupancy.
+    pub occupancy_sum: u64,
+    /// Largest backlog observed on any arrival (clamped to
+    /// `link_queue_depth`).
+    pub max_occupancy: u64,
+}
+
+impl LinkCounters {
+    /// Mean backlog observed on arrival (0 when the link carried nothing).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.messages as f64
+        }
+    }
+}
+
+/// End-of-run snapshot of link contention: per-link counters plus queueing
+/// cycles broken down by [`TrafficClass`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// One entry per directed link slot (see [`crate::Mesh::num_links`];
+    /// index with the link ids of [`crate::Mesh::route_links`]).
+    pub links: Vec<LinkCounters>,
+    /// Queueing cycles per class, indexed by [`TrafficClass::index`].
+    pub class_queue_cycles: [u64; TrafficClass::ALL.len()],
+}
+
+impl LinkStats {
+    /// Total queueing cycles over every link and class.
+    pub fn total_queue_cycles(&self) -> u64 {
+        self.class_queue_cycles.iter().sum()
+    }
+
+    /// The busiest link by queueing cycles, as `(link id, counters)`.
+    pub fn hottest_link(&self) -> Option<(u32, LinkCounters)> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.messages > 0)
+            .max_by_key(|&(i, c)| (c.queue_cycles, std::cmp::Reverse(i)))
+            .map(|(i, c)| (i as u32, *c))
+    }
+}
+
+/// The live contention state of every directed link in the mesh.
+#[derive(Debug, Clone)]
+pub struct LinkNet {
+    flits_per_cycle: u64,
+    queue_depth: u64,
+    /// Cycle at which each link finishes serving everything accepted so far.
+    busy_until: Vec<u64>,
+    /// Departure cycles of the messages still in flight on each link, in
+    /// FIFO (= ascending) order; drained lazily to measure the backlog a new
+    /// arrival queues behind. Capacity is retained across messages, so the
+    /// steady state allocates nothing.
+    in_flight: Vec<VecDeque<u64>>,
+    counters: Vec<LinkCounters>,
+    class_queue_cycles: [u64; TrafficClass::ALL.len()],
+}
+
+impl LinkNet {
+    /// Create the link state for a mesh with `num_links` directed link slots
+    /// (see [`crate::Mesh::num_links`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.link_flits_per_cycle` or `cfg.link_queue_depth` is
+    /// zero (a validated `SystemConfig` rejects both).
+    pub fn new(cfg: &NocConfig, num_links: usize) -> Self {
+        assert!(cfg.link_flits_per_cycle > 0, "link_flits_per_cycle must be positive");
+        assert!(cfg.link_queue_depth > 0, "link_queue_depth must be positive");
+        LinkNet {
+            flits_per_cycle: cfg.link_flits_per_cycle,
+            queue_depth: cfg.link_queue_depth,
+            busy_until: vec![0; num_links],
+            in_flight: vec![VecDeque::new(); num_links],
+            counters: vec![LinkCounters::default(); num_links],
+            class_queue_cycles: [0; TrafficClass::ALL.len()],
+        }
+    }
+
+    /// Pass one `flits`-flit message of `class` through `link`, arriving at
+    /// cycle `enter`. Returns the departure cycle; the difference between
+    /// `depart - enter` and the link's raw service time is the queueing
+    /// delay, which is also accumulated into the link's counters.
+    pub fn traverse(&mut self, link: u32, class: TrafficClass, flits: u64, enter: u64) -> u64 {
+        let i = link as usize;
+        let busy = self.busy_until[i];
+        let wait = busy.saturating_sub(enter);
+        let service = flits.div_ceil(self.flits_per_cycle).max(1);
+        let depart = enter.max(busy) + service;
+        self.busy_until[i] = depart;
+
+        let queue = &mut self.in_flight[i];
+        while queue.front().is_some_and(|&d| d <= enter) {
+            queue.pop_front();
+        }
+        let occupancy = (queue.len() as u64).min(self.queue_depth);
+        queue.push_back(depart);
+
+        let c = &mut self.counters[i];
+        c.messages += 1;
+        c.flits += flits;
+        c.queue_cycles += wait;
+        c.occupancy_sum += occupancy;
+        c.max_occupancy = c.max_occupancy.max(occupancy);
+        self.class_queue_cycles[class.index()] += wait;
+        depart
+    }
+
+    /// Raw service time of a `flits`-flit message on an idle link.
+    pub fn service_cycles(&self, flits: u64) -> u64 {
+        flits.div_ceil(self.flits_per_cycle).max(1)
+    }
+
+    /// Total queueing cycles accumulated so far, over every link and class.
+    pub fn total_queue_cycles(&self) -> u64 {
+        self.class_queue_cycles.iter().sum()
+    }
+
+    /// Snapshot the counters for end-of-run statistics.
+    pub fn snapshot(&self) -> LinkStats {
+        LinkStats { links: self.counters.clone(), class_queue_cycles: self.class_queue_cycles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(flits_per_cycle: u64, depth: u64) -> LinkNet {
+        let cfg = NocConfig {
+            link_flits_per_cycle: flits_per_cycle,
+            link_queue_depth: depth,
+            ..NocConfig::default()
+        };
+        LinkNet::new(&cfg, 8)
+    }
+
+    #[test]
+    fn idle_link_charges_only_service_time() {
+        let mut n = net(1, 16);
+        // 5 flits at 1 flit/cycle: departs 5 cycles after arrival, no wait.
+        assert_eq!(n.traverse(0, TrafficClass::Memory, 5, 100), 105);
+        let s = n.snapshot();
+        assert_eq!(s.links[0].queue_cycles, 0);
+        assert_eq!(s.links[0].messages, 1);
+        assert_eq!(s.links[0].flits, 5);
+        assert_eq!(s.total_queue_cycles(), 0);
+    }
+
+    #[test]
+    fn back_to_back_messages_queue_fifo() {
+        let mut n = net(1, 16);
+        // Three 4-flit messages arriving at the same cycle serialize.
+        assert_eq!(n.traverse(0, TrafficClass::Memory, 4, 0), 4);
+        assert_eq!(n.traverse(0, TrafficClass::Task, 4, 0), 8);
+        assert_eq!(n.traverse(0, TrafficClass::Task, 4, 0), 12);
+        let s = n.snapshot();
+        assert_eq!(s.links[0].queue_cycles, 4 + 8);
+        assert_eq!(s.class_queue_cycles[TrafficClass::Memory.index()], 0);
+        assert_eq!(s.class_queue_cycles[TrafficClass::Task.index()], 12);
+        assert_eq!(s.total_queue_cycles(), 12);
+    }
+
+    #[test]
+    fn a_late_arrival_finds_the_link_idle_again() {
+        let mut n = net(2, 16);
+        // 4 flits at 2 flits/cycle = 2 cycles of service.
+        assert_eq!(n.traverse(3, TrafficClass::Gvt, 4, 10), 12);
+        // Arriving after the link drained: no queueing.
+        assert_eq!(n.traverse(3, TrafficClass::Gvt, 4, 20), 22);
+        assert_eq!(n.snapshot().links[3].queue_cycles, 0);
+    }
+
+    #[test]
+    fn occupancy_counts_messages_ahead_and_clamps_at_depth() {
+        let mut n = net(1, 2);
+        for k in 0..5 {
+            n.traverse(1, TrafficClass::Abort, 10, 0);
+            let c = n.snapshot().links[1];
+            // The k-th arrival queues behind min(k, depth) earlier messages.
+            assert_eq!(c.max_occupancy, (k as u64).min(2));
+        }
+        let c = n.snapshot().links[1];
+        // Backlogs seen: 0, 1, 2, 2 (clamped), 2 (clamped) — sum 7.
+        assert_eq!(c.occupancy_sum, 7);
+        assert_eq!(c.max_occupancy, 2);
+        assert!((c.mean_occupancy() - 7.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn links_are_independent() {
+        let mut n = net(1, 16);
+        assert_eq!(n.traverse(0, TrafficClass::Memory, 8, 0), 8);
+        // A different link is idle even while link 0 is busy.
+        assert_eq!(n.traverse(1, TrafficClass::Memory, 8, 0), 8);
+        assert_eq!(n.total_queue_cycles(), 0);
+    }
+
+    #[test]
+    fn hottest_link_picks_the_most_queued() {
+        let mut n = net(1, 16);
+        n.traverse(2, TrafficClass::Memory, 4, 0);
+        n.traverse(2, TrafficClass::Memory, 4, 0);
+        n.traverse(5, TrafficClass::Memory, 4, 0);
+        let (link, c) = n.snapshot().hottest_link().expect("traffic exists");
+        assert_eq!(link, 2);
+        assert_eq!(c.queue_cycles, 4);
+        assert!(LinkStats::default().hottest_link().is_none());
+    }
+
+    #[test]
+    fn zero_flit_control_still_occupies_one_cycle() {
+        let mut n = net(4, 16);
+        // Service time is at least one cycle regardless of width.
+        assert_eq!(n.traverse(0, TrafficClass::Gvt, 1, 0), 1);
+        assert_eq!(n.service_cycles(1), 1);
+    }
+}

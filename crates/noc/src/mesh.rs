@@ -2,6 +2,13 @@
 
 use swarm_types::{NocConfig, TileId};
 
+/// Directed-link slots per tile: east, west, south, north (in the direction
+/// encoding of [`Mesh::route_links`]).
+pub const LINKS_PER_TILE: usize = 4;
+
+/// Direction labels matching the link-id encoding of [`Mesh::route_links`].
+pub const DIR_LABELS: [&str; LINKS_PER_TILE] = ["E", "W", "S", "N"];
+
 /// A 2D mesh of tiles with dimension-ordered (X-Y) routing.
 #[derive(Debug, Clone)]
 pub struct Mesh {
@@ -20,11 +27,15 @@ impl Mesh {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero, or if `cfg.link_bits` is zero —
+    /// callers construct meshes from a validated `SystemConfig`
+    /// (`SystemConfig::validate` rejects zero NoC knobs), so a zero width
+    /// here is a bug, not a user error to clamp away.
     pub fn new(width: u32, height: u32, cfg: NocConfig) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        assert!(cfg.link_bits > 0, "link_bits must be positive");
         let bits = swarm_types::CACHE_LINE_BYTES * 8;
-        let line_flits = cfg.control_flits + bits.div_ceil(cfg.link_bits.max(1));
+        let line_flits = cfg.control_flits + bits.div_ceil(cfg.link_bits);
         let width_shift = width.is_power_of_two().then(|| width.trailing_zeros());
         Mesh { width, height, cfg, width_shift, line_flits }
     }
@@ -102,8 +113,7 @@ impl Mesh {
     /// links, including one head flit of control.
     pub fn flits_for_bytes(&self, bytes: u64) -> u64 {
         let bits = bytes * 8;
-        let link = self.cfg.link_bits.max(1);
-        self.cfg.control_flits + bits.div_ceil(link)
+        self.cfg.control_flits + bits.div_ceil(self.cfg.link_bits)
     }
 
     /// Flits for a full cache line (64 bytes).
@@ -114,6 +124,57 @@ impl Mesh {
     /// Flits for a short control-only message (GVT update, abort signal).
     pub fn control_flits(&self) -> u64 {
         self.cfg.control_flits
+    }
+
+    /// Visit every directed link on the dimension-ordered (X-then-Y) route
+    /// from `from` to `to`, in traversal order. Each link is identified as
+    /// `source_tile_index * LINKS_PER_TILE + direction` with direction
+    /// `0 = east (+x)`, `1 = west (-x)`, `2 = south (+y)`, `3 = north (-y)`,
+    /// named after the tile the flit *leaves*. A `from == to` route visits
+    /// nothing; the number of visits always equals [`Mesh::hops`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tile is outside the mesh.
+    pub fn route_links(&self, from: TileId, to: TileId, mut visit: impl FnMut(u32)) {
+        let (mut x, mut y) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        while x != tx {
+            let (dir, nx) = if x < tx { (0, x + 1) } else { (1, x - 1) };
+            visit((y * self.width + x) * LINKS_PER_TILE as u32 + dir);
+            x = nx;
+        }
+        while y != ty {
+            let (dir, ny) = if y < ty { (2, y + 1) } else { (3, y - 1) };
+            visit((y * self.width + x) * LINKS_PER_TILE as u32 + dir);
+            y = ny;
+        }
+    }
+
+    /// Total number of directed link slots (`num_tiles * LINKS_PER_TILE`).
+    /// Edge tiles own slots pointing off-mesh that no route ever visits;
+    /// indexing by slot keeps link lookup a shift instead of a map.
+    pub fn num_links(&self) -> usize {
+        self.num_tiles() * LINKS_PER_TILE
+    }
+
+    /// The `(source, destination)` tiles of a directed link id produced by
+    /// [`Mesh::route_links`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link id points off-mesh (a slot no route ever visits).
+    pub fn link_endpoints(&self, link: u32) -> (TileId, TileId) {
+        let tile = link / LINKS_PER_TILE as u32;
+        let dir = link % LINKS_PER_TILE as u32;
+        let (x, y) = self.coords(TileId(tile));
+        let (nx, ny) = match dir {
+            0 => (x + 1, y),
+            1 => (x.checked_sub(1).expect("west link off-mesh"), y),
+            2 => (x, y + 1),
+            _ => (x, y.checked_sub(1).expect("north link off-mesh")),
+        };
+        (TileId(tile), self.tile_at(nx, ny))
     }
 
     /// Average hop distance between distinct tiles (useful as a sanity check
@@ -215,5 +276,63 @@ mod tests {
     fn out_of_range_tile_panics() {
         let m = mesh4x4();
         let _ = m.coords(TileId(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "link_bits")]
+    fn zero_link_bits_panics_instead_of_clamping() {
+        let cfg = NocConfig { link_bits: 0, ..NocConfig::default() };
+        let _ = Mesh::new(4, 4, cfg);
+    }
+
+    /// Collect the route as a link-id list.
+    fn route(m: &Mesh, from: u32, to: u32) -> Vec<u32> {
+        let mut links = Vec::new();
+        m.route_links(TileId(from), TileId(to), |l| links.push(l));
+        links
+    }
+
+    #[test]
+    fn route_walk_covers_exactly_the_hop_count() {
+        let m = mesh4x4();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let links = route(&m, a, b);
+                assert_eq!(links.len() as u64, m.hops(TileId(a), TileId(b)), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_walk_is_a_contiguous_x_then_y_path() {
+        let m = mesh4x4();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                if a == b {
+                    continue;
+                }
+                // Each link departs from where the previous one arrived, the
+                // path starts at `a` and ends at `b`, and X moves precede Y
+                // moves (dimension order).
+                let links = route(&m, a, b);
+                let mut at = TileId(a);
+                let mut seen_y = false;
+                for &l in &links {
+                    let (src, dst) = m.link_endpoints(l);
+                    assert_eq!(src, at, "route {a}->{b} teleported");
+                    let x_move = l % LINKS_PER_TILE as u32 <= 1;
+                    assert!(!(x_move && seen_y), "route {a}->{b} turned back to X");
+                    seen_y |= !x_move;
+                    at = dst;
+                }
+                assert_eq!(at, TileId(b), "route {a}->{b} ended elsewhere");
+            }
+        }
+    }
+
+    #[test]
+    fn route_walk_on_same_tile_is_empty() {
+        let m = mesh4x4();
+        assert!(route(&m, 7, 7).is_empty());
     }
 }

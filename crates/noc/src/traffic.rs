@@ -20,6 +20,17 @@ impl TrafficClass {
     pub const ALL: [TrafficClass; 4] =
         [TrafficClass::Memory, TrafficClass::Abort, TrafficClass::Task, TrafficClass::Gvt];
 
+    /// Position of this class in [`TrafficClass::ALL`] (used to index
+    /// per-class counter arrays without a map).
+    pub fn index(self) -> usize {
+        match self {
+            TrafficClass::Memory => 0,
+            TrafficClass::Abort => 1,
+            TrafficClass::Task => 2,
+            TrafficClass::Gvt => 3,
+        }
+    }
+
     /// Short label used by the harness tables.
     pub fn label(self) -> &'static str {
         match self {

@@ -130,7 +130,7 @@ impl<'a> TaskCtx<'a> {
 
     /// Speculatively read the 64-bit word at `addr`.
     pub fn read(&mut self, addr: Addr) -> u64 {
-        let (value, latency) = self.state.speculative_read(self.task, self.core, addr);
+        let (value, latency) = self.state.speculative_read(self.task, self.core, addr, self.cycles);
         self.cycles += latency;
         self.read_lines.push(LineAddr::containing(addr));
         if self.state.profiling {
@@ -141,7 +141,8 @@ impl<'a> TaskCtx<'a> {
 
     /// Speculatively write `value` to the 64-bit word at `addr`.
     pub fn write(&mut self, addr: Addr, value: u64) {
-        let (undo, latency) = self.state.speculative_write(self.task, self.core, addr, value);
+        let (undo, latency) =
+            self.state.speculative_write(self.task, self.core, addr, value, self.cycles);
         self.cycles += latency;
         self.write_lines.push(LineAddr::containing(addr));
         self.undo.push(undo);

@@ -102,6 +102,11 @@ struct TaskMeta {
     pending_discard: bool,
     /// Body slot; [`NO_BODY`] once reclaimed.
     body_of: u32,
+    /// Earliest cycle at which the task may be dispatched or stolen: its
+    /// delivery time at the destination tile under
+    /// [`swarm_types::NocModel::Contention`]. Always 0 under the analytic
+    /// model, so readiness checks compare against 0 and never bite there.
+    ready_at: u64,
 }
 
 /// All task records of one simulation. See the module docs for the
@@ -167,6 +172,7 @@ impl TaskArena {
             aborted: false,
             pending_discard: false,
             body_of: slot,
+            ready_at: 0,
         });
         id
     }
@@ -237,6 +243,19 @@ impl TaskArena {
     #[inline]
     pub fn set_pending_discard(&mut self, id: TaskId, discard: bool) {
         self.meta[id.0 as usize].pending_discard = discard;
+    }
+
+    /// Earliest cycle at which the task may be dispatched or stolen (its
+    /// network delivery time; 0 unless contention delayed it).
+    #[inline]
+    pub fn ready_at(&self, id: TaskId) -> u64 {
+        self.meta[id.0 as usize].ready_at
+    }
+
+    /// Record the task's delivery time at its destination tile.
+    #[inline]
+    pub fn set_ready_at(&mut self, id: TaskId, at: u64) {
+        self.meta[id.0 as usize].ready_at = at;
     }
 
     /// Whether an abort request against this task still makes sense.

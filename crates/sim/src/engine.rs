@@ -247,6 +247,9 @@ impl Engine {
                 return Err(self.deadlock_error());
             };
             self.now = at.max(self.now);
+            // Mirror the clock into the state so mechanisms triggered by
+            // this event can timestamp the messages they send.
+            self.state.now_cycle = self.now;
             match event {
                 Event::Finish(core) => {
                     self.pending_core_events -= 1;
@@ -291,7 +294,12 @@ impl Engine {
         let scheduler = self.mapper.name().to_string();
         let app = self.app.name().to_string();
         let cores = self.state.cfg.num_cores();
-        let stats = self.state.observers.stats_mut().take_run_stats(scheduler, app, cores, runtime);
+        let link_stats = self.state.links.as_ref().map(|l| l.snapshot());
+        let stats = self
+            .state
+            .observers
+            .stats_mut()
+            .take_run_stats(scheduler, app, cores, runtime, link_stats);
         self.state.observers.run_end(&stats);
         stats
     }
@@ -448,7 +456,28 @@ impl Engine {
             if src != tile {
                 let hops = self.state.mesh.hops(src, tile);
                 let flits = self.state.mesh.flits_for_bytes(34);
-                self.state.record_traffic(TrafficClass::Task, hops, flits);
+                let wait =
+                    self.state.send_message(TrafficClass::Task, src, tile, hops, flits, self.now);
+                if self.state.links.is_some() {
+                    // Under contention the child is not dispatchable until
+                    // its descriptor physically arrives: mesh latency,
+                    // queueing delay, and any armed message-delay fault all
+                    // push the delivery out.
+                    let latency = self.state.mesh.latency(src, tile)
+                        + wait
+                        + self.state.faults.extra_remote_latency(src);
+                    if latency > 0 {
+                        let ready_at = self.now + latency;
+                        self.state.tasks.set_ready_at(id, ready_at);
+                        // The add_task wake fires now, while the task is not
+                        // yet dispatchable; schedule a second attempt for the
+                        // destination tile's cores at the delivery cycle.
+                        let first = tile.index() as u32 * self.state.cfg.cores_per_tile;
+                        for c in first..first + self.state.cfg.cores_per_tile {
+                            self.schedule_core(ready_at, Event::TryDispatch(CoreId(c)));
+                        }
+                    }
+                }
             }
         }
         Ok(id)
@@ -515,6 +544,12 @@ impl Engine {
         let serialize = self.mapper.serialize_same_hint();
         let tile_state = &self.state.tiles[tile.index()];
         for &(ts, id) in tile_state.idle.iter() {
+            // Tasks still in flight to this tile (contention-mode delivery)
+            // are not dispatchable yet; a wake is already scheduled for
+            // their arrival cycle. Always 0 > now == false under Analytic.
+            if self.state.tasks.ready_at(id) > self.now {
+                continue;
+            }
             if !serialize {
                 return Some(id);
             }
@@ -709,9 +744,10 @@ impl Engine {
         // Each tile exchanges a GVT update with the arbiter (tile 0).
         let arbiter = TileId(0);
         for t in 0..self.state.cfg.num_tiles() {
-            let hops = self.state.mesh.hops(TileId(t as u32), arbiter);
+            let tile = TileId(t as u32);
+            let hops = self.state.mesh.hops(tile, arbiter);
             let flits = self.state.mesh.control_flits();
-            self.state.record_traffic(TrafficClass::Gvt, hops, 2 * flits);
+            self.state.send_message(TrafficClass::Gvt, tile, arbiter, hops, 2 * flits, self.now);
         }
 
         let frontier = self.state.gvt();

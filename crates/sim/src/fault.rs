@@ -56,7 +56,11 @@ pub enum FaultKind {
         extra_cycles: u32,
     },
     /// The next NoC message is delivered twice (and accounted twice in the
-    /// traffic breakdown). Observational: timing and results are untouched.
+    /// traffic breakdown). Observational under the analytic NoC model:
+    /// timing and results are untouched. Under
+    /// [`swarm_types::NocModel::Contention`] the duplicate also walks the
+    /// links a second time, so it occupies real bandwidth and can delay
+    /// later messages — but never the one it duplicates.
     DuplicateMessage,
     /// From the fault cycle on, `tile`'s effective task-queue capacity is
     /// clamped to `capacity` entries, forcing spills (a partial task-unit

@@ -142,6 +142,32 @@ pub struct NetworkEvent {
     pub hops: u64,
     /// Number of link flits occupied.
     pub flits: u64,
+    /// Cycles the message spent queued behind earlier messages along its
+    /// route. Always zero under [`swarm_types::NocModel::Analytic`]; under
+    /// `Contention` it is the sum of the per-link waits.
+    pub queue_cycles: u64,
+}
+
+/// A message traversed one directed mesh link under
+/// [`swarm_types::NocModel::Contention`] (one event per hop of the route).
+///
+/// Never fired in analytic mode, and — like dequeue events — only
+/// materialised when a custom observer is attached, since the built-in
+/// statistics come from the link counters directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkOccupancyEvent {
+    /// The directed link id (see [`swarm_noc::Mesh::route_links`]).
+    pub link: u32,
+    /// What kind of payload the message carried.
+    pub class: TrafficClass,
+    /// Number of link flits occupied.
+    pub flits: u64,
+    /// Cycle the message arrived at the link.
+    pub enter: u64,
+    /// Cycle the message cleared the link (service plus any queueing).
+    pub depart: u64,
+    /// Cycles spent waiting for earlier messages on this link.
+    pub queue_cycles: u64,
 }
 
 /// Which way tasks moved between a tile's task queue and memory.
@@ -222,6 +248,10 @@ pub trait SimObserver {
     /// A message crossed the on-chip network.
     fn on_network_message(&mut self, _event: &NetworkEvent) {}
 
+    /// A message traversed one directed mesh link (contention mode only;
+    /// fires per hop, so implement it only when per-link detail is needed).
+    fn on_link_occupancy(&mut self, _event: &LinkOccupancyEvent) {}
+
     /// Tasks were spilled to (or refilled from) memory.
     fn on_spill(&mut self, _event: &SpillEvent) {}
 
@@ -258,6 +288,9 @@ impl<T: SimObserver> SimObserver for std::rc::Rc<std::cell::RefCell<T>> {
     fn on_network_message(&mut self, event: &NetworkEvent) {
         self.borrow_mut().on_network_message(event);
     }
+    fn on_link_occupancy(&mut self, event: &LinkOccupancyEvent) {
+        self.borrow_mut().on_link_occupancy(event);
+    }
     fn on_spill(&mut self, event: &SpillEvent) {
         self.borrow_mut().on_spill(event);
     }
@@ -293,6 +326,7 @@ pub struct StatsObserver {
     tasks_spilled: u64,
     gvt_updates: u64,
     lb_reconfigs: u64,
+    noc_queue_cycles: u64,
     committed_cycles_per_tile: Vec<u64>,
     committed_accesses: Vec<CommittedTaskAccesses>,
 }
@@ -333,14 +367,21 @@ impl StatsObserver {
         &self.committed_cycles_per_tile
     }
 
+    /// Total NoC queueing cycles seen so far (0 in analytic mode).
+    pub fn noc_queue_cycles(&self) -> u64 {
+        self.noc_queue_cycles
+    }
+
     /// Assemble the final [`RunStats`], draining the collected access traces
-    /// (hence `take`: a second call returns empty traces).
+    /// (hence `take`: a second call returns empty traces). `link_stats` is
+    /// the end-of-run link-contention snapshot (`None` in analytic mode).
     pub(crate) fn take_run_stats(
         &mut self,
         scheduler: String,
         app: String,
         cores: usize,
         runtime_cycles: u64,
+        link_stats: Option<swarm_noc::LinkStats>,
     ) -> RunStats {
         RunStats {
             scheduler,
@@ -354,8 +395,10 @@ impl StatsObserver {
             tasks_spilled: self.tasks_spilled,
             gvt_updates: self.gvt_updates,
             lb_reconfigs: self.lb_reconfigs,
+            noc_queue_cycles: self.noc_queue_cycles,
             committed_cycles_per_tile: self.committed_cycles_per_tile.clone(),
             committed_accesses: std::mem::take(&mut self.committed_accesses),
+            link_stats,
         }
     }
 }
@@ -383,6 +426,7 @@ impl SimObserver for StatsObserver {
 
     fn on_network_message(&mut self, event: &NetworkEvent) {
         self.traffic.record(event.class, event.hops, event.flits);
+        self.noc_queue_cycles += event.queue_cycles;
     }
 
     fn on_spill(&mut self, event: &SpillEvent) {
@@ -489,9 +533,22 @@ impl ObserverHub {
         fan_out!(self, on_abort, event);
     }
 
+    /// Whether anyone attached would see a per-link occupancy event. The
+    /// built-in statistics come from the link counters directly, so the
+    /// per-hop event is only materialised for custom observers.
+    #[inline]
+    pub(crate) fn wants_link_occupancy(&self) -> bool {
+        !self.extra.is_empty()
+    }
+
     #[inline]
     pub(crate) fn network(&mut self, event: &NetworkEvent) {
         fan_out!(self, on_network_message, event);
+    }
+
+    #[inline]
+    pub(crate) fn link_occupancy(&mut self, event: &LinkOccupancyEvent) {
+        fan_out!(self, on_link_occupancy, event);
     }
 
     #[inline]
@@ -567,7 +624,12 @@ mod tests {
             cycles: 0,
             executed: false,
         });
-        stats.on_network_message(&NetworkEvent { class: TrafficClass::Task, hops: 3, flits: 2 });
+        stats.on_network_message(&NetworkEvent {
+            class: TrafficClass::Task,
+            hops: 3,
+            flits: 2,
+            queue_cycles: 5,
+        });
         stats.on_spill(&SpillEvent {
             tile: TileId(0),
             tasks: 4,
@@ -592,10 +654,13 @@ mod tests {
         assert_eq!(stats.breakdown().empty, 7);
         assert_eq!(stats.committed_cycles_per_tile(), &[0, 40]);
         assert_eq!(stats.traffic().total(), 6);
-        let run = stats.take_run_stats("m".into(), "a".into(), 2, 123);
+        assert_eq!(stats.noc_queue_cycles(), 5);
+        let run = stats.take_run_stats("m".into(), "a".into(), 2, 123, None);
         assert_eq!(run.tasks_committed, 1);
         assert_eq!(run.gvt_updates, 1);
         assert_eq!(run.runtime_cycles, 123);
+        assert_eq!(run.noc_queue_cycles, 5);
+        assert!(run.link_stats.is_none());
     }
 
     #[test]
@@ -612,7 +677,7 @@ mod tests {
             num_args: 2,
             accesses: Some(&trace),
         });
-        let run = stats.take_run_stats("m".into(), "a".into(), 1, 1);
+        let run = stats.take_run_stats("m".into(), "a".into(), 1, 1, None);
         assert_eq!(run.committed_accesses.len(), 1);
         assert_eq!(run.committed_accesses[0].accesses, trace.to_vec());
         assert_eq!(run.committed_accesses[0].num_args, 2);

@@ -13,15 +13,16 @@
 //! conflict, so a steady-state simulation step performs no heap allocation.
 
 use swarm_mem::{AccessKind, CacheModel, HitLevel, SimMemory, UndoEntry};
-use swarm_noc::{Mesh, TrafficClass};
-use swarm_types::{Addr, CoreId, LineAddr, SystemConfig, TaskId, TileId};
+use swarm_noc::{LinkNet, Mesh, TrafficClass};
+use swarm_types::{Addr, CoreId, LineAddr, NocModel, SystemConfig, TaskId, TileId};
 
 use crate::arena::TaskArena;
 use crate::fault::FaultRuntime;
 use crate::key_list::KeyList;
 use crate::line_table::LineTable;
 use crate::observer::{
-    AbortEvent, CommitEvent, NetworkEvent, ObserverHub, SpillDirection, SpillEvent,
+    AbortEvent, CommitEvent, LinkOccupancyEvent, NetworkEvent, ObserverHub, SpillDirection,
+    SpillEvent,
 };
 use crate::task::{OrderKey, PendingChild, TaskDescriptor, TaskStatus};
 
@@ -82,6 +83,13 @@ pub struct SimState {
     pub caches: CacheModel,
     /// Network model.
     pub mesh: Mesh,
+    /// Per-link contention state: `Some` only under
+    /// [`NocModel::Contention`]; `None` keeps the analytic fast path intact.
+    pub(crate) links: Option<LinkNet>,
+    /// The engine's current cycle, mirrored here at every event so state
+    /// methods can time the messages they send without threading a clock
+    /// parameter through every mechanism.
+    pub(crate) now_cycle: u64,
     /// Speculative access table: line -> uncommitted readers/writers. An
     /// open-addressed flat table (see [`crate::line_table`]): it is consulted
     /// on every speculative access, and first SipHash, then the `HashMap`
@@ -132,6 +140,8 @@ pub struct SimState {
     scratch_abort_discard: Vec<bool>,
     /// [`SimState::abort_task`]: combined undo log of the abort set.
     scratch_undo: Vec<UndoEntry>,
+    /// [`SimState::route_message`]: link ids of the route being walked.
+    scratch_route: Vec<u32>,
 
     // Execution-context buffers recycled between task-body executions (at
     // most one body runs at a time): [`crate::TaskCtx`] takes them on
@@ -163,10 +173,15 @@ impl SimState {
         );
         let num_tiles = cfg.num_tiles();
         let num_cores = cfg.num_cores();
+        let mesh = Mesh::new(cfg.tiles_x, cfg.tiles_y, cfg.noc.clone());
+        let links = (cfg.noc.model == NocModel::Contention)
+            .then(|| LinkNet::new(&cfg.noc, mesh.num_links()));
         SimState {
             mem: SimMemory::new(),
             caches: CacheModel::new(cfg.cache.clone(), num_tiles, cfg.cores_per_tile),
-            mesh: Mesh::new(cfg.tiles_x, cfg.tiles_y, cfg.noc.clone()),
+            mesh,
+            links,
+            now_cycle: 0,
             line_table: LineTable::new(),
             tasks: TaskArena::new(),
             tiles: vec![TileState::default(); num_tiles],
@@ -187,6 +202,7 @@ impl SimState {
             scratch_abort_stack: Vec::new(),
             scratch_abort_discard: Vec::new(),
             scratch_undo: Vec::new(),
+            scratch_route: Vec::new(),
             ctx_read_buf: Vec::new(),
             ctx_write_buf: Vec::new(),
             ctx_undo: Vec::new(),
@@ -198,15 +214,102 @@ impl SimState {
 
     /// Announce one on-chip network message to every observer (the built-in
     /// statistics observer accumulates it into the traffic breakdown).
+    ///
+    /// This is the abstract accounting path: no link is walked and no
+    /// queueing delay accrues, so it is reserved for traffic with no
+    /// physical route (e.g. the hop-count-1 rollback abstraction). Messages
+    /// between two real tiles go through [`SimState::send_message`], which
+    /// models contention when enabled.
     #[inline]
     pub(crate) fn record_traffic(&mut self, class: TrafficClass, hops: u64, flits: u64) {
-        self.observers.network(&NetworkEvent { class, hops, flits });
+        self.observers.network(&NetworkEvent { class, hops, flits, queue_cycles: 0 });
         // An armed DuplicateMessage fault delivers (and accounts) the next
         // message a second time.
         if self.faults.duplicate_next {
             self.faults.duplicate_next = false;
-            self.observers.network(&NetworkEvent { class, hops, flits });
+            self.observers.network(&NetworkEvent { class, hops, flits, queue_cycles: 0 });
         }
+    }
+
+    /// Deliver one message from `from` to `to`: walk its dimension-ordered
+    /// route through the link FIFOs under [`NocModel::Contention`] (a no-op
+    /// under `Analytic`), announce it to the observers with its queueing
+    /// delay, and honor an armed `DuplicateMessage` fault by walking and
+    /// announcing the message a second time (under contention the duplicate
+    /// also occupies the links again).
+    ///
+    /// `event_hops` is the hop count recorded in the traffic statistics —
+    /// some messages account round trips or off-chip legs, so it can exceed
+    /// the route length. `enter` is the cycle the message leaves `from`.
+    /// Returns the queueing delay of the (first) delivery in cycles, always
+    /// zero under `Analytic`; callers decide whether that delay lands on a
+    /// latency-critical path or only occupies the links.
+    pub(crate) fn send_message(
+        &mut self,
+        class: TrafficClass,
+        from: TileId,
+        to: TileId,
+        event_hops: u64,
+        flits: u64,
+        enter: u64,
+    ) -> u64 {
+        let queue_cycles = self.route_message(class, from, to, flits, enter);
+        self.observers.network(&NetworkEvent { class, hops: event_hops, flits, queue_cycles });
+        if self.faults.duplicate_next {
+            self.faults.duplicate_next = false;
+            let dup = self.route_message(class, from, to, flits, enter);
+            self.observers.network(&NetworkEvent {
+                class,
+                hops: event_hops,
+                flits,
+                queue_cycles: dup,
+            });
+        }
+        queue_cycles
+    }
+
+    /// Walk `flits` of `class` hop by hop from `from` to `to` through the
+    /// link FIFOs, entering the first link at cycle `enter`. Returns the
+    /// total queueing delay across the route. No-op (returning zero) under
+    /// [`NocModel::Analytic`] or when source and destination coincide.
+    fn route_message(
+        &mut self,
+        class: TrafficClass,
+        from: TileId,
+        to: TileId,
+        flits: u64,
+        enter: u64,
+    ) -> u64 {
+        if self.links.is_none() || from == to {
+            return 0;
+        }
+        let mut route = std::mem::take(&mut self.scratch_route);
+        debug_assert!(route.is_empty());
+        self.mesh.route_links(from, to, |l| route.push(l));
+        let links = self.links.as_mut().expect("contention mode checked above");
+        let want_events = self.observers.wants_link_occupancy();
+        let service = links.service_cycles(flits);
+        let mut at = enter;
+        let mut queued = 0;
+        for &link in &route {
+            let depart = links.traverse(link, class, flits, at);
+            let wait = depart - at - service;
+            queued += wait;
+            if want_events {
+                self.observers.link_occupancy(&LinkOccupancyEvent {
+                    link,
+                    class,
+                    flits,
+                    enter: at,
+                    depart,
+                    queue_cycles: wait,
+                });
+            }
+            at = depart;
+        }
+        route.clear();
+        self.scratch_route = route;
+        queued
     }
 
     /// The tile a core belongs to.
@@ -369,7 +472,8 @@ impl SimState {
             });
             let hops = self.mesh.hops(tile, TileId(0)).max(1);
             let flits = self.mesh.line_flits() * spilled as u64;
-            self.record_traffic(TrafficClass::Memory, hops, flits);
+            let at = self.now_cycle;
+            self.send_message(TrafficClass::Memory, tile, TileId(0), hops, flits, at);
         }
     }
 
@@ -398,7 +502,8 @@ impl SimState {
             });
             let hops = self.mesh.hops(tile, TileId(0)).max(1);
             let flits = self.mesh.line_flits() * refilled as u64;
-            self.record_traffic(TrafficClass::Memory, hops, flits);
+            let at = self.now_cycle;
+            self.send_message(TrafficClass::Memory, tile, TileId(0), hops, flits, at);
             self.note_wake(tile);
         }
         refilled
@@ -425,17 +530,23 @@ impl SimState {
         });
         let hops = self.mesh.hops(tile, TileId(0)).max(1);
         let flits = self.mesh.line_flits();
-        self.record_traffic(TrafficClass::Memory, hops, flits);
+        let at = self.now_cycle;
+        self.send_message(TrafficClass::Memory, tile, TileId(0), hops, flits, at);
         self.note_wake(tile);
     }
 
     /// Move the earliest idle task of `victim` to `thief` (idealized work
     /// stealing: no latency, no traffic). Returns the stolen task, if any.
+    /// A task still in flight to `victim` under [`NocModel::Contention`]
+    /// (delivery cycle in the future) cannot be stolen before it arrives.
     pub fn steal_task(&mut self, thief: TileId, victim: TileId) -> Option<TaskId> {
         if thief == victim {
             return None;
         }
         let &key = self.tiles[victim.index()].idle.first()?;
+        if self.tasks.ready_at(key.1) > self.now_cycle {
+            return None;
+        }
         self.tiles[victim.index()].idle.remove(&key);
         self.tiles[thief.index()].idle.insert(key);
         self.tasks.set_tile(key.1, thief);
@@ -447,31 +558,51 @@ impl SimState {
     // ------------------------------------------------------------------
 
     /// Perform a speculative read of the word at `addr` on behalf of `task`
-    /// running on `core`. Returns `(value, latency_cycles)`.
-    pub fn speculative_read(&mut self, task: TaskId, core: CoreId, addr: Addr) -> (u64, u64) {
-        let latency = self.access_line(task, core, addr, AccessKind::Read);
+    /// running on `core`, `elapsed` cycles into the task's execution (so
+    /// contention-mode messages enter the network at the right virtual
+    /// time). Returns `(value, latency_cycles)`.
+    pub fn speculative_read(
+        &mut self,
+        task: TaskId,
+        core: CoreId,
+        addr: Addr,
+        elapsed: u64,
+    ) -> (u64, u64) {
+        let latency = self.access_line(task, core, addr, AccessKind::Read, elapsed);
         (self.mem.load(addr), latency)
     }
 
-    /// Perform a speculative write of `value` to `addr` on behalf of `task`.
-    /// Returns the latency in cycles. The previous value is recorded in the
-    /// task's undo log by the caller (the task context owns the log until
-    /// the execution is integrated).
+    /// Perform a speculative write of `value` to `addr` on behalf of `task`,
+    /// `elapsed` cycles into the task's execution. Returns the latency in
+    /// cycles. The previous value is recorded in the task's undo log by the
+    /// caller (the task context owns the log until the execution is
+    /// integrated).
     pub fn speculative_write(
         &mut self,
         task: TaskId,
         core: CoreId,
         addr: Addr,
         value: u64,
+        elapsed: u64,
     ) -> (swarm_mem::UndoEntry, u64) {
-        let latency = self.access_line(task, core, addr, AccessKind::Write);
+        let latency = self.access_line(task, core, addr, AccessKind::Write, elapsed);
         let undo = self.mem.store_logged(addr, value);
         (undo, latency)
     }
 
     /// Conflict-check and charge one line access; aborts conflicting
-    /// later-key tasks eagerly. Returns the access latency.
-    fn access_line(&mut self, task: TaskId, core: CoreId, addr: Addr, kind: AccessKind) -> u64 {
+    /// later-key tasks eagerly. Returns the access latency. Under
+    /// [`NocModel::Contention`] the access's off-tile messages enter the
+    /// network at `now_cycle + elapsed` and any queueing delay on the data
+    /// transfer is added to the returned latency.
+    fn access_line(
+        &mut self,
+        task: TaskId,
+        core: CoreId,
+        addr: Addr,
+        kind: AccessKind,
+        elapsed: u64,
+    ) -> u64 {
         let line = LineAddr::containing(addr);
         let my_key = self.tasks.key(task);
         let tile = self.tile_of_core(core);
@@ -519,6 +650,10 @@ impl SimState {
         // An active DelayedMessage fault slows every off-tile transfer this
         // tile issues (zero unless armed, so the fault-free path is exact).
         let delay = self.faults.extra_remote_latency(tile);
+        // Cycle at which the access's messages leave the tile. Earlier
+        // accesses in the same task body already folded their own queueing
+        // delays into `elapsed`, so contention naturally compounds.
+        let at = self.now_cycle + elapsed;
         match outcome.level {
             HitLevel::L1 | HitLevel::L2 => {}
             HitLevel::RemoteL2 { owner } => {
@@ -526,26 +661,38 @@ impl SimState {
                 latency +=
                     2 * self.mesh.latency(tile, owner) + self.mesh.latency(tile, home) + delay;
                 let owner_hops = self.mesh.hops(tile, owner);
-                self.record_traffic(TrafficClass::Memory, owner_hops, line_flits);
+                // The line transfer is on the access's critical path: its
+                // queueing delay lands in the latency. The directory control
+                // message only occupies links.
+                latency += self.send_message(
+                    TrafficClass::Memory,
+                    tile,
+                    owner,
+                    owner_hops,
+                    line_flits,
+                    at,
+                );
                 let home_hops = self.mesh.hops(tile, home);
                 let control_flits = self.mesh.control_flits();
-                self.record_traffic(TrafficClass::Memory, home_hops, control_flits);
+                self.send_message(TrafficClass::Memory, tile, home, home_hops, control_flits, at);
             }
             HitLevel::L3 { home } => {
                 latency += 2 * self.mesh.latency(tile, home) + delay;
                 let hops = self.mesh.hops(tile, home);
-                self.record_traffic(TrafficClass::Memory, hops, line_flits);
+                latency +=
+                    self.send_message(TrafficClass::Memory, tile, home, hops, line_flits, at);
             }
             HitLevel::Memory { home } => {
                 latency += 2 * self.mesh.latency(tile, home) + delay;
                 let hops = self.mesh.hops(tile, home) * 2 + 2;
-                self.record_traffic(TrafficClass::Memory, hops, line_flits);
+                latency +=
+                    self.send_message(TrafficClass::Memory, tile, home, hops, line_flits, at);
             }
         }
         for inv in &outcome.invalidated {
             let hops = self.mesh.hops(tile, *inv);
             let control_flits = self.mesh.control_flits();
-            self.record_traffic(TrafficClass::Memory, hops, control_flits);
+            self.send_message(TrafficClass::Memory, tile, *inv, hops, control_flits, at);
         }
         latency
     }
@@ -687,10 +834,12 @@ impl SimState {
                 });
             }
             if executed {
-                // Abort message to the victim's tile.
+                // Abort message to the victim's tile (occupies links under
+                // contention; the cascade itself is not delayed by it).
                 let hops = self.mesh.hops(aborter_tile, tile);
                 let control_flits = self.mesh.control_flits();
-                self.record_traffic(TrafficClass::Abort, hops, control_flits);
+                let at = self.now_cycle;
+                self.send_message(TrafficClass::Abort, aborter_tile, tile, hops, control_flits, at);
             }
             match status {
                 TaskStatus::Idle => {

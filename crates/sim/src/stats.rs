@@ -81,10 +81,16 @@ pub struct RunStats {
     pub gvt_updates: u64,
     /// Number of load-balancer reconfigurations performed.
     pub lb_reconfigs: u64,
+    /// Total cycles messages spent queued in the NoC (always zero under
+    /// [`swarm_types::NocModel::Analytic`]).
+    pub noc_queue_cycles: u64,
     /// Committed cycles per tile (the load-balance signal of Section VI).
     pub committed_cycles_per_tile: Vec<u64>,
     /// Per-committed-task access traces (only when profiling was enabled).
     pub committed_accesses: Vec<CommittedTaskAccesses>,
+    /// Per-link contention counters (`Some` only under
+    /// [`swarm_types::NocModel::Contention`]).
+    pub link_stats: Option<swarm_noc::LinkStats>,
 }
 
 impl RunStats {

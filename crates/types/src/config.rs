@@ -42,6 +42,21 @@ impl Default for CacheConfig {
     }
 }
 
+/// Network fidelity level: how message delivery times are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum NocModel {
+    /// Purely analytic hop latencies (the historical model, and the default):
+    /// every message pays `hops * hop_latency (+ turn_penalty)` regardless of
+    /// load. Figure outputs are pinned against this mode.
+    #[default]
+    Analytic,
+    /// Contention-aware: each directed mesh link is a bandwidth-limited FIFO
+    /// (service time = flits / `link_flits_per_cycle`), messages walk their
+    /// dimension-ordered route link by link, and queueing delay behind
+    /// earlier messages is charged into delivery times.
+    Contention,
+}
+
 /// On-chip network parameters (16x16 mesh of 128-bit links in the paper).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NocConfig {
@@ -53,11 +68,29 @@ pub struct NocConfig {
     pub link_bits: u64,
     /// Flits in a control message (task enqueue header, GVT update, abort).
     pub control_flits: u64,
+    /// Fidelity of the delivery-time model (see [`NocModel`]).
+    pub model: NocModel,
+    /// Flits a link accepts per cycle in [`NocModel::Contention`]; the
+    /// service time of an `f`-flit message is `ceil(f / link_flits_per_cycle)`.
+    pub link_flits_per_cycle: u64,
+    /// Queue-depth bound per link in [`NocModel::Contention`]: the occupancy
+    /// statistic reported per link saturates here. Links are work-conserving
+    /// FIFOs, so departure times do not depend on this bound — it bounds the
+    /// *observed* backlog, mirroring a router's finite buffer occupancy.
+    pub link_queue_depth: u64,
 }
 
 impl Default for NocConfig {
     fn default() -> Self {
-        NocConfig { hop_latency: 1, turn_penalty: 1, link_bits: 128, control_flits: 1 }
+        NocConfig {
+            hop_latency: 1,
+            turn_penalty: 1,
+            link_bits: 128,
+            control_flits: 1,
+            model: NocModel::Analytic,
+            link_flits_per_cycle: 1,
+            link_queue_depth: 16,
+        }
     }
 }
 
@@ -317,6 +350,18 @@ impl SystemConfig {
         if self.spec.gvt_epoch == 0 || self.lb_epoch == 0 {
             return Err("epoch lengths must be positive".into());
         }
+        if self.noc.link_bits == 0 {
+            return Err("noc.link_bits must be positive".into());
+        }
+        if self.noc.control_flits == 0 {
+            return Err("noc.control_flits must be positive".into());
+        }
+        if self.noc.link_flits_per_cycle == 0 {
+            return Err("noc.link_flits_per_cycle must be positive".into());
+        }
+        if self.noc.link_queue_depth == 0 {
+            return Err("noc.link_queue_depth must be positive".into());
+        }
         Ok(())
     }
 }
@@ -381,6 +426,34 @@ mod tests {
         let mut cfg = SystemConfig::small();
         cfg.spec.gvt_epoch = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_noc_knobs() {
+        let mut cfg = SystemConfig::small();
+        cfg.noc.link_bits = 0;
+        assert!(cfg.validate().unwrap_err().contains("link_bits"));
+
+        let mut cfg = SystemConfig::small();
+        cfg.noc.control_flits = 0;
+        assert!(cfg.validate().unwrap_err().contains("control_flits"));
+
+        let mut cfg = SystemConfig::small();
+        cfg.noc.link_flits_per_cycle = 0;
+        assert!(cfg.validate().unwrap_err().contains("link_flits_per_cycle"));
+
+        let mut cfg = SystemConfig::small();
+        cfg.noc.link_queue_depth = 0;
+        assert!(cfg.validate().unwrap_err().contains("link_queue_depth"));
+    }
+
+    #[test]
+    fn noc_model_defaults_to_analytic() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.noc.model, NocModel::Analytic);
+        let mut cfg = SystemConfig::small();
+        cfg.noc.model = NocModel::Contention;
+        cfg.validate().unwrap();
     }
 
     #[test]

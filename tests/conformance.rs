@@ -38,6 +38,15 @@ fn spec(bench: BenchmarkId, fine: bool) -> AppSpec {
 
 /// Run the kit over one app under all four schedulers at 1 and 16 cores.
 fn check(spec: AppSpec, stable_commit_count: bool) {
+    check_with_options(
+        spec,
+        ConformanceOptions { stable_commit_count, ..ConformanceOptions::default() },
+    );
+}
+
+/// [`check`] with explicit [`ConformanceOptions`] (the contention shard
+/// overrides the machine-configuration hook).
+fn check_with_options(spec: AppSpec, opts: ConformanceOptions) {
     type Builder = Box<dyn Fn(&SystemConfig) -> Box<dyn TaskMapper>>;
     let builders: Vec<(&'static str, Builder)> = Scheduler::ALL
         .iter()
@@ -45,11 +54,17 @@ fn check(spec: AppSpec, stable_commit_count: bool) {
         .collect();
     let mappers: Vec<MapperSpec<'_>> =
         builders.iter().map(|(name, build)| MapperSpec { name, build: build.as_ref() }).collect();
-    let opts = ConformanceOptions { stable_commit_count, ..ConformanceOptions::default() };
     let report = check_app(&|| spec.build(InputScale::Tiny, SEED), &mappers, &opts)
         .unwrap_or_else(|e| panic!("{} failed conformance: {e}", spec.name()));
     assert_eq!(report.combos.len(), Scheduler::ALL.len() * opts.core_counts.len());
     assert_eq!(report.runs, report.combos.len() * opts.repeats);
+}
+
+/// A machine configuration with the contention NoC model enabled.
+fn contention_config(cores: u32) -> SystemConfig {
+    let mut cfg = SystemConfig::with_cores(cores);
+    cfg.noc.model = swarm_repro::types::NocModel::Contention;
+    cfg
 }
 
 /// One row per app: `name => (benchmark, fine_grain, stable_commit_count)`.
@@ -99,6 +114,59 @@ conformance_suite! {
     color_fine_conforms => (Color, true, true),
 }
 
+/// Contention-mode conformance shard: the full battery (validation,
+/// bit-identical repeats, accounting invariants) must hold with per-link
+/// queueing on, for a representative ordered graph app and the DES
+/// workload whose abort traffic stresses the link model.
+#[test]
+fn contention_mode_bfs_conforms() {
+    check_with_options(
+        AppSpec::coarse(BenchmarkId::Bfs),
+        ConformanceOptions {
+            stable_commit_count: true,
+            config: contention_config,
+            ..ConformanceOptions::default()
+        },
+    );
+}
+
+#[test]
+fn contention_mode_des_conforms() {
+    check_with_options(
+        AppSpec::coarse(BenchmarkId::Des),
+        ConformanceOptions {
+            stable_commit_count: true,
+            config: contention_config,
+            ..ConformanceOptions::default()
+        },
+    );
+}
+
+/// Contention-mode runs are byte-identical between `--jobs 1` and
+/// `--jobs 8`, and actually accumulate queueing cycles (the analytic model
+/// reports none).
+#[test]
+fn contention_runs_are_byte_identical_across_pool_jobs() {
+    use swarm_repro::types::NocModel;
+    let requests: Vec<RunRequest> = [BenchmarkId::Bfs, BenchmarkId::Des, BenchmarkId::Kvstore]
+        .iter()
+        .flat_map(|&bench| {
+            Scheduler::ALL.iter().map(move |&scheduler| {
+                RunRequest::new(AppSpec::coarse(bench), scheduler, 16, InputScale::Tiny)
+                    .with_seed(SEED)
+                    .with_noc(NocModel::Contention)
+            })
+        })
+        .collect();
+    let serial = Pool::new(1).run_matrix(&requests);
+    let parallel = Pool::new(8).run_matrix(&requests);
+    assert_eq!(serial, parallel, "a contention-mode matrix diverged from --jobs 1");
+    assert!(
+        serial.iter().all(|s| s.noc_queue_cycles > 0 && s.link_stats.is_some()),
+        "contention-mode runs must accumulate link queueing statistics"
+    );
+}
+
 #[test]
 fn suite_covers_every_benchmark_and_fine_variant() {
     let specs = suite_specs();
@@ -124,13 +192,9 @@ fn every_app_is_byte_identical_across_pool_jobs() {
     let requests: Vec<RunRequest> = BenchmarkId::ALL
         .iter()
         .flat_map(|&bench| {
-            Scheduler::ALL.iter().map(move |&scheduler| RunRequest {
-                spec: AppSpec::coarse(bench),
-                scheduler,
-                cores: 4,
-                scale: InputScale::Tiny,
-                seed: SEED,
-                fault: None,
+            Scheduler::ALL.iter().map(move |&scheduler| {
+                RunRequest::new(AppSpec::coarse(bench), scheduler, 4, InputScale::Tiny)
+                    .with_seed(SEED)
             })
         })
         .collect();

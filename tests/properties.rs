@@ -706,4 +706,46 @@ proptest! {
             );
         }
     }
+
+    /// The mesh routing walk matches a plain div/mod X-then-Y reference
+    /// hop for hop at every width — non-power-of-two widths take the
+    /// divide path of `Mesh::split`, power-of-two widths the shift/mask
+    /// fast path, and both must produce the identical dimension-ordered
+    /// link sequence — and its length always equals `Mesh::hops`.
+    #[test]
+    fn mesh_route_matches_divide_reference_hop_for_hop(
+        width in 1u32..10,
+        height in 1u32..10,
+        from_seed in any::<u32>(),
+        to_seed in any::<u32>(),
+    ) {
+        use swarm_repro::noc::{Mesh, LINKS_PER_TILE};
+        let mesh = Mesh::new(width, height, swarm_types::NocConfig::default());
+        let tiles = width * height;
+        let from = TileId(from_seed % tiles);
+        let to = TileId(to_seed % tiles);
+        // Reference walk: X then Y, coordinates split with plain div/mod.
+        let mut expect = Vec::new();
+        let (mut x, mut y) = (from.0 % width, from.0 / width);
+        let (tx, ty) = (to.0 % width, to.0 / width);
+        while x != tx {
+            let dir = if x < tx { 0 } else { 1 };
+            expect.push((y * width + x) * LINKS_PER_TILE as u32 + dir);
+            if x < tx { x += 1 } else { x -= 1 }
+        }
+        while y != ty {
+            let dir = if y < ty { 2 } else { 3 };
+            expect.push((y * width + x) * LINKS_PER_TILE as u32 + dir);
+            if y < ty { y += 1 } else { y -= 1 }
+        }
+        let mut got = Vec::new();
+        mesh.route_links(from, to, |l| got.push(l));
+        prop_assert_eq!(&got, &expect, "width {} height {} {:?}->{:?}", width, height, from, to);
+        prop_assert_eq!(got.len() as u64, mesh.hops(from, to));
+        for &link in &got {
+            prop_assert!((link as usize) < mesh.num_links());
+            let (src, _) = mesh.link_endpoints(link);
+            prop_assert!(src.index() < mesh.num_tiles());
+        }
+    }
 }
