@@ -190,7 +190,7 @@ fn valid_schedulers() -> String {
 /// Levenshtein edit distance, for the unknown-flag did-you-mean hint. The
 /// candidate set is a handful of short flag names, so the textbook DP is
 /// plenty.
-fn levenshtein(a: &str, b: &str) -> usize {
+pub(crate) fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     let mut prev: Vec<usize> = (0..=b.len()).collect();
@@ -208,7 +208,10 @@ fn levenshtein(a: &str, b: &str) -> usize {
 
 /// The closest known flag within an edit distance of 3, if any (ties break
 /// alphabetically so the hint is deterministic).
-fn closest_flag<'a>(flag: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+pub(crate) fn closest_flag<'a>(
+    flag: &str,
+    candidates: impl Iterator<Item = &'a str>,
+) -> Option<&'a str> {
     candidates
         .map(|c| (levenshtein(flag, c), c))
         .filter(|&(d, _)| d <= 3)

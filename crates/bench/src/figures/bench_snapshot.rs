@@ -235,6 +235,20 @@ pub fn run(args: &[String]) -> i32 {
     for (name, cycles) in &noc_queueing {
         entries.push(format!("    {{\"name\": \"{name}\", \"queue_cycles\": {cycles}}}"));
     }
+    // The `serve_*` series belong to `bench-serve`; rewriting this file
+    // must not drop them (and vice versa — bench-serve preserves ours).
+    if let Ok(text) = std::fs::read_to_string(&out) {
+        if let Ok(value) = swarm_serve::json::parse(&text) {
+            if let Some(existing) = value.get("results").and_then(swarm_serve::Value::as_arr) {
+                for entry in existing {
+                    let name = entry.get("name").and_then(swarm_serve::Value::as_str);
+                    if name.is_some_and(|n| n.starts_with("serve_")) {
+                        entries.push(format!("    {}", entry.render_spaced()));
+                    }
+                }
+            }
+        }
+    }
     let json = format!(
         "{{\n  \"bench\": \"mechanisms\",\n  \"unit\": \"ns_per_op\",\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")

@@ -13,6 +13,7 @@
 use crate::runner::RunError;
 
 pub mod ablation_lb;
+pub mod bench_serve;
 pub mod bench_snapshot;
 pub mod chaos;
 pub mod fig10;
@@ -25,6 +26,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod noc_profile;
+pub mod serve;
 pub mod summary;
 pub mod sysconfig;
 pub mod table1;

@@ -63,6 +63,6 @@ pub use report::{
     gmean,
 };
 pub use runner::{
-    run_app, run_app_profiled, run_point_result, speedup_curve, ExperimentPoint, RunError,
-    RunRequest,
+    run_app, run_app_profiled, run_point_result, run_point_result_observed, speedup_curve,
+    ExperimentPoint, RunError, RunRequest,
 };

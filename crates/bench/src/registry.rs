@@ -128,6 +128,18 @@ pub const REGISTRY: &[FigureSpec] = &[
         about: "per-link queueing heat tables under the contention NoC model",
         run: figures::noc_profile::run,
     },
+    FigureSpec {
+        name: "serve",
+        aliases: &[],
+        about: "long-lived simulation service with a content-addressed result cache",
+        run: figures::serve::run,
+    },
+    FigureSpec {
+        name: "bench-serve",
+        aliases: &["bench_serve"],
+        about: "load-generate against an in-process serve stack; commits req/s and hit-rate series",
+        run: figures::bench_serve::run,
+    },
 ];
 
 /// Look a command up by name or alias.
@@ -206,10 +218,13 @@ mod tests {
         for name in legacy {
             assert!(find(name).is_some(), "{name} missing from the registry");
         }
-        // The registry carries the fifteen legacy commands plus `chaos`
-        // and `noc-profile` (which never had standalone binaries).
-        assert_eq!(REGISTRY.len(), 17);
+        // The registry carries the fifteen legacy commands plus `chaos`,
+        // `noc-profile`, `serve`, and `bench-serve` (which never had
+        // standalone binaries).
+        assert_eq!(REGISTRY.len(), 19);
         assert!(find("chaos").is_some());
         assert_eq!(find("noc_profile").unwrap().name, "noc-profile");
+        assert!(find("serve").is_some());
+        assert_eq!(find("bench_serve").unwrap().name, "bench-serve");
     }
 }

@@ -117,6 +117,51 @@ fn swarm_list_names_every_command() {
     for spec in swarm_bench::REGISTRY {
         assert!(listing.contains(spec.name), "swarm list omits {}", spec.name);
     }
+    // Explicit pins for the serving stack: `swarm list` is the discovery
+    // surface the docs point at, so these names are part of the contract.
+    assert!(listing.contains("serve"), "{listing}");
+    assert!(listing.contains("bench-serve"), "{listing}");
+}
+
+#[test]
+fn serve_pipe_round_trips_a_submission_end_to_end() {
+    use std::io::Write;
+    use std::process::Stdio;
+    // One two-point matrix submitted twice through the real binary's pipe
+    // mode: the repeat must be served from cache with identical stats.
+    let submit = concat!(
+        "{\"type\":\"submit\",\"id\":\"g\",\"points\":[",
+        "{\"app\":\"sssp\",\"scheduler\":\"hints\",\"cores\":2,\"scale\":\"tiny\"},",
+        "{\"app\":\"bfs\",\"scheduler\":\"random\",\"cores\":1,\"scale\":\"tiny\"}]}\n",
+    );
+    let mut child = Command::new(env!("CARGO_BIN_EXE_swarm"))
+        .args(["serve", "--jobs", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawning swarm serve");
+    let mut stdin = child.stdin.take().unwrap();
+    stdin.write_all(submit.as_bytes()).unwrap();
+    stdin.write_all(submit.as_bytes()).unwrap();
+    stdin.write_all(b"{\"type\":\"shutdown\"}\n").unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().expect("swarm serve exits");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.matches("\"type\":\"run-complete\"").count(), 2, "{stdout}");
+    // The repeat run reports every point as a hit...
+    assert!(stdout.contains("\"hits\":2,\"misses\":0"), "{stdout}");
+    // ...and the two point-finished stats payloads are byte-identical to
+    // the first pass once the cached/source markers are stripped.
+    let payloads: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.contains("\"type\":\"point-finished\""))
+        .map(|l| l.split("\"stats\":").nth(1).expect("a stats payload"))
+        .collect();
+    assert_eq!(payloads.len(), 4, "{stdout}");
+    assert_eq!(payloads[0], payloads[2]);
+    assert_eq!(payloads[1], payloads[3]);
+    assert!(stdout.contains("\"type\":\"bye\""), "{stdout}");
 }
 
 #[test]

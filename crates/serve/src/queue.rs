@@ -1,0 +1,134 @@
+//! Fairness-aware multi-tenant work queue.
+//!
+//! Each client gets its own FIFO lane; the dispatcher drains lanes
+//! round-robin, taking at most `per_client` items from each lane per
+//! batch. A client submitting a 500-point matrix therefore cannot starve
+//! a client submitting 2 points: the small matrix is interleaved after at
+//! most one batch of the large one.
+
+use std::collections::VecDeque;
+
+/// A round-robin queue of per-client FIFO lanes.
+pub struct FairQueue<T> {
+    lanes: VecDeque<(u64, VecDeque<T>)>,
+}
+
+impl<T> Default for FairQueue<T> {
+    fn default() -> Self {
+        FairQueue { lanes: VecDeque::new() }
+    }
+}
+
+impl<T> FairQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> FairQueue<T> {
+        FairQueue::default()
+    }
+
+    /// Append `items` to `client`'s lane, creating the lane (at the back
+    /// of the rotation) if this is the client's first pending work.
+    pub fn push(&mut self, client: u64, items: impl IntoIterator<Item = T>) {
+        if let Some((_, lane)) = self.lanes.iter_mut().find(|(id, _)| *id == client) {
+            lane.extend(items);
+        } else {
+            let lane: VecDeque<T> = items.into_iter().collect();
+            if !lane.is_empty() {
+                self.lanes.push_back((client, lane));
+            }
+        }
+    }
+
+    /// Take the next batch: visit each lane at most once in rotation
+    /// order, taking up to `per_client` items from each, stopping at
+    /// `max_total` items. Lanes left non-empty rotate to the back.
+    pub fn next_batch(&mut self, per_client: usize, max_total: usize) -> Vec<T> {
+        let mut batch = Vec::new();
+        let lanes_at_start = self.lanes.len();
+        for _ in 0..lanes_at_start {
+            if batch.len() >= max_total {
+                break;
+            }
+            let Some((client, mut lane)) = self.lanes.pop_front() else { break };
+            let take = per_client.min(max_total - batch.len());
+            for _ in 0..take {
+                match lane.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if !lane.is_empty() {
+                self.lanes.push_back((client, lane));
+            }
+        }
+        batch
+    }
+
+    /// Total items pending across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|(_, lane)| lane.len()).sum()
+    }
+
+    /// Whether no work is pending.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        let mut q = FairQueue::new();
+        q.push(1, ["a1", "a2", "a3", "a4"]);
+        q.push(2, ["b1", "b2"]);
+        assert_eq!(q.next_batch(1, 10), vec!["a1", "b1"]);
+        assert_eq!(q.next_batch(1, 10), vec!["a2", "b2"]);
+        // Client 2 is drained; client 1 keeps its FIFO order.
+        assert_eq!(q.next_batch(1, 10), vec!["a3"]);
+        assert_eq!(q.next_batch(1, 10), vec!["a4"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn large_matrix_cannot_starve_a_small_one() {
+        let mut q = FairQueue::new();
+        q.push(1, (0..500).map(|i| (1u64, i)));
+        q.push(2, [(2u64, 0), (2u64, 1)]);
+        let batch = q.next_batch(4, 16);
+        // The small client's work appears in the very first batch.
+        assert!(batch.iter().filter(|(c, _)| *c == 2).count() == 2, "{batch:?}");
+        assert_eq!(batch.len(), 6);
+    }
+
+    #[test]
+    fn max_total_bounds_the_batch() {
+        let mut q = FairQueue::new();
+        q.push(1, 0..10);
+        q.push(2, 10..20);
+        let batch = q.next_batch(8, 10);
+        assert_eq!(batch.len(), 10);
+        assert_eq!(q.len(), 10);
+        // Each lane was visited at most once: 8 from client 1, 2 from 2.
+        assert_eq!(batch, vec![0, 1, 2, 3, 4, 5, 6, 7, 10, 11]);
+    }
+
+    #[test]
+    fn push_appends_to_an_existing_lane_without_resetting_rotation() {
+        let mut q = FairQueue::new();
+        q.push(1, ["a1"]);
+        q.push(2, ["b1"]);
+        q.push(1, ["a2"]);
+        assert_eq!(q.next_batch(2, 2), vec!["a1", "a2"]);
+        assert_eq!(q.next_batch(2, 2), vec!["b1"]);
+    }
+
+    #[test]
+    fn empty_push_creates_no_lane() {
+        let mut q: FairQueue<u32> = FairQueue::new();
+        q.push(1, []);
+        assert!(q.is_empty());
+        assert_eq!(q.next_batch(4, 4), Vec::<u32>::new());
+    }
+}

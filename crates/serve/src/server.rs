@@ -1,0 +1,534 @@
+//! The job server: pipe mode, TCP mode, and the shared scheduling core.
+//!
+//! One [`Server`] owns the [`ResultCache`], the [`FairQueue`], and the
+//! in-flight bookkeeping; any number of client handlers (one per pipe or
+//! TCP connection) submit work to it. A dedicated dispatcher thread pulls
+//! fair batches off the queue and runs them through the [`PointRunner`];
+//! handlers block on a condvar until their points complete.
+//!
+//! Cross-client deduplication: when a point is already running for one
+//! client, a second client submitting the same point *waits* for the
+//! first run instead of re-simulating — the cache-correctness tests
+//! assert every distinct point is simulated at most once even under
+//! concurrent overlapping matrices.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use swarm_sim::RunStats;
+use swarm_types::{CanonKey, Canonical, FastHashMap, FastHashSet};
+
+use crate::cache::ResultCache;
+use crate::exec::PointRunner;
+use crate::point::RunPoint;
+use crate::proto::{
+    parse_request, render_event, CacheReport, CacheSource, Event, PointFailure, Request,
+};
+use crate::queue::FairQueue;
+
+/// Tunables for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// In-memory cache capacity (entries).
+    pub mem_entries: usize,
+    /// On-disk cache directory (second tier) — `None` disables it.
+    pub cache_dir: Option<PathBuf>,
+    /// Max points taken from one client's lane per dispatch batch.
+    pub inflight_per_client: usize,
+    /// Max points per dispatch batch across all clients.
+    pub batch_points: usize,
+    /// Emit one `progress` event per this many GVT updates.
+    pub progress_every: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            mem_entries: 1024,
+            cache_dir: None,
+            inflight_per_client: 4,
+            batch_points: 16,
+            progress_every: 64,
+        }
+    }
+}
+
+struct Job {
+    point: RunPoint,
+    key: CanonKey,
+}
+
+struct State {
+    cache: ResultCache,
+    /// Keys currently being simulated (by the dispatcher or inline by a
+    /// progress-mode handler).
+    running: FastHashSet<CanonKey>,
+    /// Failures are memoized for the server's lifetime: runs are
+    /// deterministic, so resubmitting a failing point would fail
+    /// identically.
+    failed: FastHashMap<CanonKey, PointFailure>,
+    queue: FairQueue<Job>,
+    clients: u64,
+    next_client: u64,
+    stop: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when work is queued (or on shutdown): wakes the dispatcher.
+    work_cv: Condvar,
+    /// Signalled when any point completes: wakes waiting handlers.
+    done_cv: Condvar,
+}
+
+/// How a submitted point will be satisfied for this request.
+///
+/// `Ready` holds the full [`RunStats`] inline; one resolution exists per
+/// point per submission, so the variant size skew doesn't justify a box.
+#[allow(clippy::large_enum_variant)]
+enum Resolution {
+    /// Already cached (or already failed): served immediately.
+    Ready(RunStats, CacheSource),
+    /// Failed earlier this session; the memoized failure is served.
+    Failed(PointFailure),
+    /// This request owns the simulation (it was queued, or will run
+    /// inline in progress mode).
+    Owned,
+    /// Another in-flight request owns the same point; wait for it.
+    Waiting,
+}
+
+/// The scheduling core shared by all transports.
+pub struct Server<R: PointRunner> {
+    runner: Arc<R>,
+    shared: Arc<Shared>,
+    options: ServeOptions,
+}
+
+/// What a pipe-mode session saw, for exit-code mapping in `swarm_bench`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipeSummary {
+    /// At least one line failed to parse as a request.
+    pub saw_protocol_error: bool,
+    /// At least one submitted point was invalid.
+    pub saw_invalid_point: bool,
+    /// At least one point failed at simulation time.
+    pub saw_run_failure: bool,
+}
+
+impl<R: PointRunner + 'static> Server<R> {
+    /// Create a server scheduling on `runner`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the cache directory cannot be created.
+    pub fn new(runner: R, options: ServeOptions) -> io::Result<Server<R>> {
+        let cache = ResultCache::new(options.mem_entries, options.cache_dir.clone())?;
+        Ok(Server {
+            runner: Arc::new(runner),
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    cache,
+                    running: FastHashSet::default(),
+                    failed: FastHashMap::default(),
+                    queue: FairQueue::new(),
+                    clients: 0,
+                    next_client: 0,
+                    stop: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            options,
+        })
+    }
+
+    fn spawn_dispatcher(&self) -> JoinHandle<()> {
+        let shared = Arc::clone(&self.shared);
+        let runner = Arc::clone(&self.runner);
+        let per_client = self.options.inflight_per_client.max(1);
+        let max_total = self.options.batch_points.max(1);
+        std::thread::spawn(move || loop {
+            let batch = {
+                let mut state = shared.state.lock().unwrap();
+                loop {
+                    if state.stop && state.queue.is_empty() {
+                        return;
+                    }
+                    let batch = state.queue.next_batch(per_client, max_total);
+                    if !batch.is_empty() {
+                        break batch;
+                    }
+                    state = shared.work_cv.wait(state).unwrap();
+                }
+            };
+            let points: Vec<RunPoint> = batch.iter().map(|j| j.point).collect();
+            let outcomes = runner.run_batch(&points);
+            let mut state = shared.state.lock().unwrap();
+            for (job, outcome) in batch.iter().zip(outcomes) {
+                complete(&mut state, job.key, outcome);
+            }
+            drop(state);
+            shared.done_cv.notify_all();
+        })
+    }
+
+    fn stop_dispatcher(&self, handle: JoinHandle<()>) {
+        self.shared.state.lock().unwrap().stop = true;
+        self.shared.work_cv.notify_all();
+        let _ = handle.join();
+    }
+
+    /// Serve one session over an arbitrary reader/writer pair (stdin and
+    /// stdout in `swarm serve` pipe mode). Returns when the input is
+    /// exhausted or the client sends `shutdown`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors writing events to `writer`.
+    pub fn serve_pipe(
+        &self,
+        reader: impl BufRead,
+        mut writer: impl Write,
+    ) -> io::Result<PipeSummary> {
+        let dispatcher = self.spawn_dispatcher();
+        let client = self.register_client();
+        let mut summary = PipeSummary::default();
+        let result = self.session_loop(client, reader, &mut writer, &mut summary);
+        self.unregister_client();
+        self.stop_dispatcher(dispatcher);
+        result.map(|()| summary)
+    }
+
+    fn register_client(&self) -> u64 {
+        let mut state = self.shared.state.lock().unwrap();
+        state.clients += 1;
+        let id = state.next_client;
+        state.next_client += 1;
+        id
+    }
+
+    fn unregister_client(&self) {
+        self.shared.state.lock().unwrap().clients -= 1;
+    }
+
+    /// Read request lines until EOF or `shutdown`, emitting events.
+    fn session_loop(
+        &self,
+        client: u64,
+        reader: impl BufRead,
+        writer: &mut impl Write,
+        summary: &mut PipeSummary,
+    ) -> io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_request(&line) {
+                Err(err) => {
+                    summary.saw_protocol_error = true;
+                    emit(writer, &Event::Protocol(err))?;
+                }
+                Ok(Request::Stats) => {
+                    let state = self.shared.state.lock().unwrap();
+                    let c = state.cache.counters();
+                    let event = Event::ServerStats {
+                        cache: CacheReport {
+                            hits: c.hits,
+                            misses: c.misses,
+                            disk_hits: c.disk_hits,
+                            evictions: c.evictions,
+                            entries: state.cache.len() as u64,
+                        },
+                        clients: state.clients,
+                    };
+                    drop(state);
+                    emit(writer, &event)?;
+                }
+                Ok(Request::Shutdown) => {
+                    emit(writer, &Event::Bye)?;
+                    break;
+                }
+                Ok(Request::Submit(submit)) => {
+                    self.handle_submit(client, &submit, writer, summary)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve every point of a submission under one lock acquisition,
+    /// queue what this request owns, then stream results in order.
+    fn handle_submit(
+        &self,
+        client: u64,
+        submit: &crate::proto::SubmitRequest,
+        writer: &mut impl Write,
+        summary: &mut PipeSummary,
+    ) -> io::Result<()> {
+        let id = &submit.id;
+        emit(writer, &Event::Accepted { id: id.clone(), points: submit.points.len() as u64 })?;
+
+        let keys: Vec<CanonKey> = submit.points.iter().map(Canonical::canon_key).collect();
+        let mut report = CacheReport::default();
+        let resolutions = {
+            let mut state = self.shared.state.lock().unwrap();
+            let mut jobs = Vec::new();
+            let mut owned_this_submit: FastHashSet<CanonKey> = FastHashSet::default();
+            let resolutions: Vec<Resolution> = submit
+                .points
+                .iter()
+                .zip(&keys)
+                .map(|(&point, &key)| {
+                    if let Some(failure) = state.failed.get(&key) {
+                        report.hits += 1;
+                        return Resolution::Failed(failure.clone());
+                    }
+                    if let Some((stats, source)) = state.cache.lookup(key) {
+                        report.hits += 1;
+                        if source == CacheSource::Disk {
+                            report.disk_hits += 1;
+                        }
+                        return Resolution::Ready(stats, source);
+                    }
+                    if state.running.contains(&key) || owned_this_submit.contains(&key) {
+                        // Someone (possibly an earlier index of this very
+                        // matrix) is already simulating this point.
+                        report.hits += 1;
+                        return Resolution::Waiting;
+                    }
+                    state.running.insert(key);
+                    owned_this_submit.insert(key);
+                    report.misses += 1;
+                    if !submit.progress {
+                        jobs.push(Job { point, key });
+                    }
+                    Resolution::Owned
+                })
+                .collect();
+            state.queue.push(client, jobs);
+            resolutions
+        };
+        self.shared.work_cv.notify_all();
+
+        let mut ok = 0u64;
+        let mut failed = 0u64;
+        for (index, ((point, key), resolution)) in
+            submit.points.iter().zip(&keys).zip(resolutions).enumerate()
+        {
+            let index = index as u64;
+            emit(writer, &Event::PointStarted { id: id.clone(), index })?;
+            let outcome: Result<(RunStats, CacheSource), PointFailure> = match resolution {
+                Resolution::Ready(stats, source) => Ok((stats, source)),
+                Resolution::Failed(failure) => Err(failure),
+                Resolution::Owned if submit.progress => {
+                    self.run_inline_with_progress(point, *key, id, index, writer)?
+                }
+                Resolution::Owned => self.wait_for(point, *key, true),
+                Resolution::Waiting => self.wait_for(point, *key, false),
+            };
+            match outcome {
+                Ok((stats, source)) => {
+                    ok += 1;
+                    emit(writer, &Event::PointFinished { id: id.clone(), index, source, stats })?;
+                }
+                Err(error) => {
+                    failed += 1;
+                    if error.kind == crate::proto::FailureKind::InvalidPoint {
+                        summary.saw_invalid_point = true;
+                    } else {
+                        summary.saw_run_failure = true;
+                    }
+                    emit(writer, &Event::PointFailed { id: id.clone(), index, error })?;
+                }
+            }
+        }
+
+        {
+            let state = self.shared.state.lock().unwrap();
+            report.evictions = state.cache.counters().evictions;
+            report.entries = state.cache.len() as u64;
+        }
+        emit(writer, &Event::RunDone { id: id.clone(), ok, failed, cache: report })
+    }
+
+    /// Run an owned point on the handler thread, streaming throttled
+    /// `progress` events, then publish the result.
+    fn run_inline_with_progress(
+        &self,
+        point: &RunPoint,
+        key: CanonKey,
+        id: &str,
+        index: u64,
+        writer: &mut impl Write,
+    ) -> io::Result<Result<(RunStats, CacheSource), PointFailure>> {
+        let every = self.options.progress_every.max(1);
+        let mut gvt_updates = 0u64;
+        let mut pending: Vec<u64> = Vec::new();
+        let outcome = self.runner.run_observed(point, &mut |gvt| {
+            gvt_updates += 1;
+            if gvt_updates.is_multiple_of(every) {
+                pending.push(gvt);
+            }
+        });
+        // The observer callback cannot write to the session (the engine
+        // may run on another thread); progress events are flushed here,
+        // still ahead of the point-finished event.
+        for gvt in pending {
+            emit(writer, &Event::Progress { id: id.to_string(), index, gvt })?;
+        }
+        let mut state = self.shared.state.lock().unwrap();
+        complete(&mut state, key, outcome.clone());
+        drop(state);
+        self.shared.done_cv.notify_all();
+        Ok(outcome.map(|stats| (stats, CacheSource::Fresh)))
+    }
+
+    /// Block until `key` completes (in either direction). The request that
+    /// *owned* the simulation reports `Fresh`; dedup waiters report
+    /// `Memory`.
+    fn wait_for(
+        &self,
+        point: &RunPoint,
+        key: CanonKey,
+        owned: bool,
+    ) -> Result<(RunStats, CacheSource), PointFailure> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(failure) = state.failed.get(&key) {
+                return Err(failure.clone());
+            }
+            if let Some(stats) = state.cache.peek(key) {
+                let source = if owned { CacheSource::Fresh } else { CacheSource::Memory };
+                return Ok((stats, source));
+            }
+            if !state.running.contains(&key) {
+                // The run completed but was evicted from memory before this
+                // waiter observed it (tiny cache under heavy churn). A full
+                // lookup can still hit disk; failing that, re-own the point
+                // and simulate it on this thread.
+                if let Some((stats, source)) = state.cache.lookup(key) {
+                    return Ok((stats, source));
+                }
+                state.running.insert(key);
+                drop(state);
+                let outcome = self
+                    .runner
+                    .run_batch(std::slice::from_ref(point))
+                    .pop()
+                    .expect("run_batch returns one outcome per point");
+                let mut state = self.shared.state.lock().unwrap();
+                complete(&mut state, key, outcome.clone());
+                drop(state);
+                self.shared.done_cv.notify_all();
+                return outcome.map(|stats| (stats, CacheSource::Fresh));
+            }
+            state = self.shared.done_cv.wait(state).unwrap();
+        }
+    }
+}
+
+fn complete(state: &mut State, key: CanonKey, outcome: Result<RunStats, PointFailure>) {
+    state.running.remove(&key);
+    match outcome {
+        Ok(stats) => state.cache.insert(key, stats),
+        Err(failure) => {
+            state.failed.insert(key, failure);
+        }
+    }
+}
+
+fn emit(writer: &mut impl Write, event: &Event) -> io::Result<()> {
+    writer.write_all(render_event(event).as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// A TCP front-end: accepts connections and serves each on its own
+/// thread, all sharing one [`Server`] (and therefore one cache).
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start accepting.
+    /// The returned handle reports the bound address and stops the server
+    /// on [`shutdown`](TcpServer::shutdown) or drop.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound.
+    pub fn spawn<R: PointRunner + 'static>(
+        addr: impl ToSocketAddrs,
+        server: Server<R>,
+    ) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let dispatcher = server.spawn_dispatcher();
+        let server = Arc::new(server);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let mut handlers = Vec::new();
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let server = Arc::clone(&server);
+                handlers.push(std::thread::spawn(move || {
+                    let _ = handle_tcp_client(&server, stream);
+                }));
+            }
+            for handler in handlers {
+                let _ = handler.join();
+            }
+            server.stop_dispatcher(dispatcher);
+        });
+        Ok(TcpServer { local_addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, wait for in-flight sessions, and join all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept_thread) = self.accept_thread.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = accept_thread.join();
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn handle_tcp_client<R: PointRunner + 'static>(
+    server: &Server<R>,
+    stream: TcpStream,
+) -> io::Result<()> {
+    let client = server.register_client();
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut summary = PipeSummary::default();
+    let result = server.session_loop(client, reader, &mut writer, &mut summary);
+    server.unregister_client();
+    result
+}

@@ -21,12 +21,14 @@
 
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod config;
 pub mod error;
 pub mod hashing;
 pub mod hint;
 pub mod ids;
 
+pub use canon::{key_of, CanonBuf, CanonKey, Canonical};
 pub use config::{CacheConfig, NocConfig, NocModel, QueueConfig, SpeculationConfig, SystemConfig};
 pub use error::{SimError, SimResult};
 pub use hashing::{

@@ -42,6 +42,14 @@ fn malformed_invocations_exit_2_with_a_diagnostic() {
         // Malformed scalar values and the --noc model name are strict too.
         (&["fig2", "--seed", "nine"], "--seed"),
         (&["fig5", "--noc", "magic"], "analytic, contention"),
+        // `serve` has its own flag set but the same strictness contract.
+        (&["serve", "--bogus"], "--bogus"),
+        (&["serve", "--tpc", "127.0.0.1:0"], "did you mean '--tcp'"),
+        (&["serve", "--cache-dir"], "--cache-dir requires a value"),
+        (&["serve", "--mem-entries", "lots"], "not a valid number"),
+        // `bench-serve` routes through the shared strict parser.
+        (&["bench-serve", "--clients"], "--clients requires a value"),
+        (&["bench-serve", "--cleints", "2"], "did you mean '--clients'"),
     ];
     for (args, needle) in cases {
         let (code, _, stderr) = swarm(args);
